@@ -1,0 +1,92 @@
+// Command charhpc runs the platform characterization: every table and
+// figure of the reconstructed evaluation (see DESIGN.md), or a selected
+// subset.
+//
+// Usage:
+//
+//	charhpc -list
+//	charhpc -scale quick            # all experiments, reduced sweeps
+//	charhpc -scale full -exp F1,T3  # selected experiments, paper scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "sweep scale: quick or full")
+	expFlag := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+	listFlag := flag.Bool("list", false, "list experiments and exit")
+	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range core.All() {
+			fmt.Printf("%-4s %-7s %s\n", e.ID, e.Kind, e.Title)
+		}
+		return
+	}
+
+	var scale core.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = core.Quick
+	case "full":
+		scale = core.Full
+	default:
+		fmt.Fprintf(os.Stderr, "charhpc: unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "charhpc: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var selected []core.Experiment
+	if *expFlag == "all" {
+		selected = core.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := core.Get(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "charhpc: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("\n### %s (%s): %s\n", e.ID, e.Kind, e.Title)
+		w := io.Writer(os.Stdout)
+		var f *os.File
+		if *outDir != "" {
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "charhpc: %v\n", err)
+				os.Exit(1)
+			}
+			w = io.MultiWriter(os.Stdout, f)
+		}
+		err := e.Run(w, scale)
+		if f != nil {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "charhpc: experiment %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}

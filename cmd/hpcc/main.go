@@ -1,0 +1,146 @@
+// Command hpcc runs individual HPC Challenge kernels on a chosen fabric
+// and platform model.
+//
+// Usage:
+//
+//	hpcc -kernel hpl -np 8 -n 512 -nb 32 -platform ib-8n
+//	hpcc -kernel gups -np 8 -bits 16
+//	hpcc -kernel ptrans -np 8 -n 512
+//	hpcc -kernel fft -np 4 -n1 256 -n2 256
+//	hpcc -kernel ring -np 16 -size 4096
+//	hpcc -kernel dgemm -n 512 -threads 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/cluster"
+	"repro/internal/hpcc"
+	"repro/internal/mp"
+)
+
+func main() {
+	kernel := flag.String("kernel", "hpl", "hpl | gups | ptrans | fft | ring | dgemm")
+	fabric := flag.String("fabric", "sim", "inproc | sim | tcp")
+	platform := flag.String("platform", "ib-8n", "platform model (sim fabric)")
+	np := flag.Int("np", 4, "ranks")
+	n := flag.Int("n", 256, "problem order (hpl/ptrans/dgemm)")
+	nb := flag.Int("nb", 32, "HPL block size")
+	bits := flag.Int("bits", 14, "GUPS table bits")
+	n1 := flag.Int("n1", 128, "FFT rows")
+	n2 := flag.Int("n2", 128, "FFT cols")
+	size := flag.Int("size", 4096, "ring message size")
+	threads := flag.Int("threads", 0, "local threads (0 = GOMAXPROCS)")
+	check := flag.Bool("check", true, "verify results")
+	flag.Parse()
+
+	if *threads == 0 {
+		*threads = runtime.GOMAXPROCS(0)
+	}
+
+	cfg := mp.Config{}
+	switch *fabric {
+	case "inproc":
+		cfg.Fabric = mp.InProc
+	case "tcp":
+		cfg.Fabric = mp.TCP
+	case "sim":
+		cfg.Fabric = mp.Sim
+		m, ok := cluster.Presets()[*platform]
+		if !ok {
+			fail("unknown platform %q", *platform)
+		}
+		cfg.Model = m
+	default:
+		fail("unknown fabric %q", *fabric)
+	}
+	var computeRate float64
+	if cfg.Model != nil {
+		computeRate = cfg.Model.FlopsPerCore
+	}
+
+	if *kernel == "dgemm" {
+		res, err := hpcc.DGEMM(hpcc.DGEMMConfig{N: *n, Threads: *threads, Reps: 3, Seed: 1})
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("DGEMM  N=%d threads=%d  %.4f s  %.3f GFLOP/s\n",
+			res.N, res.Threads, res.Seconds, res.GFlops)
+		return
+	}
+
+	err := mp.Run(*np, cfg, func(c *mp.Comm) error {
+		switch *kernel {
+		case "hpl":
+			res, err := hpcc.HPL(c, hpcc.HPLConfig{
+				N: *n, NB: *nb, Seed: 7, Threads: *threads,
+				ComputeRate: computeRate, SkipCheck: !*check,
+			})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Printf("HPL    N=%d NB=%d p=%d  %.4f s  %.3f GFLOP/s  residual=%.3g\n",
+					res.N, res.NB, res.P, res.Seconds, res.GFlops, res.Residual)
+			}
+		case "gups":
+			res, err := hpcc.RandomAccess(c, hpcc.GUPSConfig{
+				TableBits: *bits, Verify: *check, Chunk: 4096, ComputeRate: computeRate / 50,
+			})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Printf("GUPS   table=2^%d updates=%d  %.4f s  %.6f GUPS  errors=%d\n",
+					*bits, res.Updates, res.Seconds, res.GUPS, res.Errors)
+			}
+		case "ptrans":
+			res, err := hpcc.PTRANS(c, hpcc.PTRANSConfig{N: *n, Seed: 5, Verify: *check})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Printf("PTRANS N=%d  %.4f s  %.3f GB/s  maxerr=%.3g\n",
+					res.N, res.Seconds, res.GBps, res.MaxErr)
+			}
+		case "fft":
+			res, err := hpcc.DistFFT(c, hpcc.FFTConfig{
+				N1: *n1, N2: *n2, Seed: 3, Verify: *check, ComputeRate: computeRate / 4,
+			})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Printf("FFT    N=%d  %.4f s  %.3f GFLOP/s  maxerr=%.3g\n",
+					res.N, res.Seconds, res.GFlops, res.MaxErr)
+			}
+		case "ring":
+			nat, err := hpcc.NaturalRing(c, *size, 5, 50)
+			if err != nil {
+				return err
+			}
+			rnd, err := hpcc.RandomRing(c, *size, 5, 50, 99)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Printf("RING   size=%d  natural %.3f MB/s  random %.3f MB/s\n",
+					*size, nat.Bandwidth/1e6, rnd.Bandwidth/1e6)
+			}
+		default:
+			return fmt.Errorf("unknown kernel %q", *kernel)
+		}
+		return nil
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hpcc: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command nas runs the NAS-style application kernels (EP, IS) on a
+// chosen fabric and platform model.
+//
+// Usage:
+//
+//	nas -kernel ep -np 8 -pairs 1000000
+//	nas -kernel is -np 8 -keys 100000 -maxkey 1048576 -fabric sim -platform ib-8n
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/mp"
+	"repro/internal/nas"
+)
+
+func main() {
+	kernel := flag.String("kernel", "ep", "ep | is")
+	fabric := flag.String("fabric", "inproc", "inproc | sim | tcp")
+	platform := flag.String("platform", "ib-8n", "platform model (sim fabric)")
+	np := flag.Int("np", 4, "ranks")
+	pairs := flag.Int("pairs", 1<<20, "EP pairs per rank")
+	keys := flag.Int("keys", 1<<17, "IS keys per rank")
+	maxKey := flag.Int("maxkey", 1<<20, "IS key range")
+	check := flag.Bool("check", true, "verify results (IS)")
+	flag.Parse()
+
+	cfg := mp.Config{}
+	switch *fabric {
+	case "inproc":
+		cfg.Fabric = mp.InProc
+	case "tcp":
+		cfg.Fabric = mp.TCP
+	case "sim":
+		cfg.Fabric = mp.Sim
+		m, ok := cluster.Presets()[*platform]
+		if !ok {
+			fail("unknown platform %q", *platform)
+		}
+		cfg.Model = m
+	default:
+		fail("unknown fabric %q", *fabric)
+	}
+	var computeRate float64
+	if cfg.Model != nil {
+		computeRate = cfg.Model.FlopsPerCore / 50
+	}
+
+	err := mp.Run(*np, cfg, func(c *mp.Comm) error {
+		switch *kernel {
+		case "ep":
+			res, err := nas.EP(c, nas.EPConfig{
+				PairsPerRank: *pairs, Seed: 1, ComputeRate: computeRate,
+			})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				frac := float64(res.Accepted) / float64(res.Pairs)
+				fmt.Printf("EP  pairs=%d accepted=%.4f  %.4f s  %.3f Mpairs/s\n",
+					res.Pairs, frac, res.Seconds, res.MopsPerS)
+				fmt.Printf("    ring counts: %v\n", res.Counts)
+			}
+		case "is":
+			res, err := nas.IS(c, nas.ISConfig{
+				KeysPerRank: *keys, MaxKey: *maxKey, Seed: 2, Verify: *check,
+			})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Printf("IS  keys=%d  %.4f s  %.3f Mkeys/s  sorted=%v\n",
+					res.TotalKeys, res.Seconds, res.MKeysPerS, res.SortedOK)
+			}
+		default:
+			return fmt.Errorf("unknown kernel %q", *kernel)
+		}
+		return nil
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nas: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+// Command osu runs the OSU-style point-to-point micro-benchmarks over a
+// chosen fabric and platform model.
+//
+// Usage:
+//
+//	osu -bench latency -fabric sim -platform ib-8n -pair 0,63
+//	osu -bench bw -fabric tcp -np 2
+//	osu -bench multipair -pairs 4 -platform ib-8n
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/mp"
+	"repro/internal/osu"
+	"repro/internal/report"
+)
+
+func main() {
+	bench := flag.String("bench", "latency", "latency | bw | bibw | multipair")
+	fabric := flag.String("fabric", "sim", "inproc | sim | tcp")
+	platform := flag.String("platform", "ib-8n", "platform model (sim fabric)")
+	np := flag.Int("np", 0, "ranks (0 = platform core count, or 2 for real fabrics)")
+	pairSpec := flag.String("pair", "0,1", "measured rank pair a,b")
+	pairs := flag.Int("pairs", 2, "pair count for -bench multipair")
+	iters := flag.Int("iters", 100, "iterations per size")
+	window := flag.Int("window", 64, "bandwidth window size")
+	flag.Parse()
+
+	cfg := mp.Config{}
+	switch *fabric {
+	case "inproc":
+		cfg.Fabric = mp.InProc
+	case "tcp":
+		cfg.Fabric = mp.TCP
+	case "sim":
+		cfg.Fabric = mp.Sim
+		m, ok := cluster.Presets()[*platform]
+		if !ok {
+			fail("unknown platform %q; presets: %v", *platform, presetNames())
+		}
+		cfg.Model = m
+	default:
+		fail("unknown fabric %q", *fabric)
+	}
+
+	n := *np
+	if n == 0 {
+		if cfg.Model != nil {
+			n = cfg.Model.Topo.TotalCores()
+		} else {
+			n = 2
+		}
+	}
+
+	a, b, err := parsePair(*pairSpec)
+	if err != nil {
+		fail("%v", err)
+	}
+	opts := osu.Options{Warmup: 10, Iters: *iters, Window: *window, PairA: a, PairB: b}
+
+	var samples []osu.Sample
+	runErr := mp.Run(n, cfg, func(c *mp.Comm) error {
+		var s []osu.Sample
+		var err error
+		switch *bench {
+		case "latency":
+			s, err = osu.Latency(c, opts)
+		case "bw":
+			s, err = osu.Bandwidth(c, opts)
+		case "bibw":
+			s, err = osu.BiBandwidth(c, opts)
+		case "multipair":
+			s, err = osu.MultiPairBandwidth(c, *pairs, opts)
+		default:
+			return fmt.Errorf("unknown benchmark %q", *bench)
+		}
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			samples = s
+		}
+		return nil
+	})
+	if runErr != nil {
+		fail("%v", runErr)
+	}
+
+	unit, scale := "us", 1e6
+	if *bench != "latency" {
+		unit, scale = "MB/s", 1e-6
+	}
+	t := report.NewTable(fmt.Sprintf("osu_%s (%s, %d ranks)", *bench, *fabric, n),
+		"bytes", unit)
+	for _, s := range samples {
+		t.AddRow(s.Size, s.Value*scale)
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		fail("%v", err)
+	}
+}
+
+func parsePair(s string) (int, int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("pair must be a,b: %q", s)
+	}
+	a, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+func presetNames() []string {
+	var names []string
+	for n := range cluster.Presets() {
+		names = append(names, n)
+	}
+	return names
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "osu: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+// Command stream runs the STREAM memory-bandwidth benchmark on the host
+// with the internal/par team runtime, printing the classic four-kernel
+// table.
+//
+// Usage:
+//
+//	stream -n 8388608 -ntimes 10 -threads 8 -firsttouch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/stream"
+)
+
+func main() {
+	n := flag.Int("n", 1<<23, "array length (float64 elements)")
+	ntimes := flag.Int("ntimes", 10, "timed trials per kernel")
+	threads := flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+	firstTouch := flag.Bool("firsttouch", true, "parallel first-touch initialization")
+	flag.Parse()
+
+	res, err := stream.Run(stream.Config{
+		N: *n, NTimes: *ntimes, Threads: *threads, FirstTouch: *firstTouch,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+		os.Exit(1)
+	}
+	t := report.NewTable(
+		fmt.Sprintf("STREAM (n=%d, %.1f MiB/array)", *n, float64(*n)*8/(1<<20)),
+		"kernel", "best MB/s", "avg time", "min time", "max time")
+	for _, r := range res {
+		t.AddRow(r.Kernel.String(), r.MBps(), r.AvgTime, r.MinTime, r.MaxTime)
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+		os.Exit(1)
+	}
+}

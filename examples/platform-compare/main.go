@@ -1,0 +1,75 @@
+// platform-compare pits the two modeled fabrics (gigabit Ethernet vs
+// InfiniBand) against each other on latency- and bandwidth-sensitive
+// workloads, one rank per node — a miniature of the T4 comparison
+// table and the core question a platform characterization answers:
+// which machine should this workload run on?
+//
+//	go run ./examples/platform-compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/hpcc"
+	"repro/internal/mp"
+	"repro/internal/osu"
+)
+
+func main() {
+	const p = 8
+	fmt.Printf("%-28s %14s %14s\n", "workload", "gige-8n", "ib-8n")
+	for _, metric := range []string{"8B latency (us)", "1MiB bandwidth (MB/s)", "RandomAccess (GUPS)"} {
+		fmt.Printf("%-28s", metric)
+		for _, mk := range []func() *cluster.Model{cluster.GigECluster, cluster.IBCluster} {
+			m := mk()
+			m.Placement = cluster.Cyclic
+			v, err := measure(m, p, metric)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %14.4f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nlatency-bound kernels (GUPS) track the fabric's small-message")
+	fmt.Println("latency; bandwidth-bound transfers track its wire speed.")
+}
+
+func measure(m *cluster.Model, p int, metric string) (float64, error) {
+	var out float64
+	cfg := mp.Config{Fabric: mp.Sim, Model: m}
+	err := mp.Run(p, cfg, func(c *mp.Comm) error {
+		opts := osu.Options{Sizes: []int{8, 1 << 20}, Warmup: 5, Iters: 50, Window: 32,
+			PairA: 0, PairB: p - 1}
+		switch metric {
+		case "8B latency (us)":
+			s, err := osu.Latency(c, opts)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				out = s[0].Value * 1e6
+			}
+		case "1MiB bandwidth (MB/s)":
+			s, err := osu.Bandwidth(c, opts)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				out = s[1].Value / 1e6
+			}
+		case "RandomAccess (GUPS)":
+			r, err := hpcc.RandomAccess(c, hpcc.GUPSConfig{TableBits: 12, Chunk: 1024, ComputeRate: 2e8})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				out = r.GUPS
+			}
+		}
+		return nil
+	})
+	return out, err
+}

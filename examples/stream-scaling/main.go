@@ -1,0 +1,58 @@
+// stream-scaling reproduces the STREAM thread-scaling experiment (F7)
+// standalone: it measures Triad bandwidth at increasing thread counts on
+// the host, prints the curve, and fits Amdahl's law to the speedups —
+// showing where the memory system, not the core count, becomes the
+// limit.
+//
+//	go run ./examples/stream-scaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func main() {
+	maxT := runtime.GOMAXPROCS(0)
+	var threads []int
+	for t := 1; t <= maxT; t *= 2 {
+		threads = append(threads, t)
+	}
+
+	table := report.NewTable("STREAM Triad scaling", "threads", "MB/s", "speedup")
+	var procs, speedups []float64
+	var base float64
+	for _, t := range threads {
+		res, err := stream.Run(stream.Config{
+			N: 1 << 21, NTimes: 5, Threads: t, FirstTouch: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		triad := res[3].MBps()
+		if t == 1 {
+			base = triad
+		}
+		sp := triad / base
+		table.AddRow(t, triad, sp)
+		procs = append(procs, float64(t))
+		speedups = append(speedups, sp)
+	}
+	if err := table.Fprint(log.Writer()); err != nil {
+		log.Fatal(err)
+	}
+
+	if len(procs) >= 2 {
+		s, err := stats.AmdahlFit(procs, speedups)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Amdahl serial fraction of the Triad scaling curve: %.3f\n", s)
+		fmt.Println("(a large value means bandwidth saturation, not serial code)")
+	}
+}

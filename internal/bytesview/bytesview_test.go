@@ -1,0 +1,62 @@
+package bytesview
+
+import (
+	"math"
+	"testing"
+)
+
+func TestF64SharesMemory(t *testing.T) {
+	xs := []float64{1.5, -2.25}
+	b := F64(xs)
+	if len(b) != 16 {
+		t.Fatalf("len = %d", len(b))
+	}
+	xs[0] = 3.5
+	got := math.Float64frombits(leU64(b[:8]))
+	if got != 3.5 {
+		t.Errorf("view did not track mutation: %v", got)
+	}
+	// Mutating through the view is visible in the slice.
+	putLeU64(b[8:], math.Float64bits(9))
+	if xs[1] != 9 {
+		t.Errorf("slice did not track view mutation: %v", xs[1])
+	}
+}
+
+func TestU64SharesMemory(t *testing.T) {
+	xs := []uint64{0x0102030405060708}
+	b := U64(xs)
+	if len(b) != 8 {
+		t.Fatalf("len = %d", len(b))
+	}
+	if leU64(b) != xs[0] {
+		t.Errorf("little-endian view mismatch")
+	}
+}
+
+func TestC128Length(t *testing.T) {
+	xs := make([]complex128, 3)
+	if len(C128(xs)) != 48 {
+		t.Errorf("len = %d", len(C128(xs)))
+	}
+}
+
+func TestEmptyViews(t *testing.T) {
+	if F64(nil) != nil || U64(nil) != nil || C128(nil) != nil {
+		t.Error("empty views must be nil")
+	}
+}
+
+func leU64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func putLeU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,118 @@
+package cluster
+
+// Preset platform models. The two fabrics bracket the era of the study:
+// a gigabit-Ethernet commodity cluster and a DDR-InfiniBand cluster, both
+// with dual-socket quad-core nodes (the canonical 2009 building block).
+// Parameter values are representative published numbers, not measurements
+// of any specific machine; the characterization harness reports them in
+// the platform table (experiment T1) so readers can see exactly what was
+// modeled.
+
+const (
+	us = 1e-6
+	ns = 1e-9
+	// GiB in bytes, as an untyped float so reciprocals divide in
+	// floating point.
+	gib = 1024.0 * 1024 * 1024
+)
+
+// GigEParams returns LogGP parameters typical of gigabit Ethernet with a
+// kernel TCP stack: ~45 µs one-way latency, ~118 MB/s asymptotic
+// bandwidth.
+func GigEParams() LogGP {
+	return LogGP{L: 40 * us, O: 2.5 * us, G: 1 * us, GB: 1 / (118e6)}
+}
+
+// IBParams returns LogGP parameters typical of DDR InfiniBand with an
+// OS-bypass stack: ~1.3 µs one-way latency, ~1.5 GB/s bandwidth.
+func IBParams() LogGP {
+	return LogGP{L: 1.1 * us, O: 0.1 * us, G: 0.2 * us, GB: 1 / (1.5e9)}
+}
+
+// sharedMemLinks returns the intra-node link classes shared by both
+// presets: a shared-memory copy path through L3 (intra-socket) or across
+// the inter-socket interconnect (intra-node).
+func sharedMemLinks() (self, intraSocket, intraNode LogGP) {
+	self = LogGP{L: 0, O: 50 * ns, G: 0, GB: 1 / (8 * gib)}
+	intraSocket = LogGP{L: 150 * ns, O: 100 * ns, G: 50 * ns, GB: 1 / (3.2 * gib)}
+	intraNode = LogGP{L: 350 * ns, O: 100 * ns, G: 80 * ns, GB: 1 / (2.2 * gib)}
+	return
+}
+
+// GigECluster returns a model of an 8-node dual-socket quad-core cluster
+// on gigabit Ethernet.
+func GigECluster() *Model {
+	self, isock, inode := sharedMemLinks()
+	return &Model{
+		Name: "gige-8n",
+		Topo: Topology{Nodes: 8, SocketsPerNode: 2, CoresPerSocket: 4},
+		Links: Links{
+			Self:        self,
+			IntraSocket: isock,
+			IntraNode:   inode,
+			InterNode:   GigEParams(),
+		},
+		Placement:      Block,
+		MemBWPerSocket: 6.4 * gib,
+		MemBWPerCore:   3.0 * gib,
+		FlopsPerCore:   9.3e9, // 2.33 GHz x 4 flops/cycle
+	}
+}
+
+// IBCluster returns a model of an 8-node dual-socket quad-core cluster on
+// DDR InfiniBand.
+func IBCluster() *Model {
+	self, isock, inode := sharedMemLinks()
+	return &Model{
+		Name: "ib-8n",
+		Topo: Topology{Nodes: 8, SocketsPerNode: 2, CoresPerSocket: 4},
+		Links: Links{
+			Self:        self,
+			IntraSocket: isock,
+			IntraNode:   inode,
+			InterNode:   IBParams(),
+		},
+		Placement:      Block,
+		MemBWPerSocket: 6.4 * gib,
+		MemBWPerCore:   3.0 * gib,
+		FlopsPerCore:   9.3e9,
+	}
+}
+
+// SMPNode returns a single shared-memory node model (for STREAM and
+// intra-node characterization).
+func SMPNode() *Model {
+	self, isock, inode := sharedMemLinks()
+	return &Model{
+		Name: "smp-1n",
+		Topo: Topology{Nodes: 1, SocketsPerNode: 2, CoresPerSocket: 4},
+		Links: Links{
+			Self:        self,
+			IntraSocket: isock,
+			IntraNode:   inode,
+			InterNode:   IBParams(), // unused: single node
+		},
+		Placement:      Block,
+		MemBWPerSocket: 6.4 * gib,
+		MemBWPerCore:   3.0 * gib,
+		FlopsPerCore:   9.3e9,
+	}
+}
+
+// BigIBCluster returns a 64-node IB model used by the collective-scaling
+// experiments (F5) that sweep up to 64 processes placed one per node.
+func BigIBCluster() *Model {
+	m := IBCluster()
+	m.Name = "ib-64n"
+	m.Topo.Nodes = 64
+	return m
+}
+
+// Presets returns all built-in platform models keyed by name.
+func Presets() map[string]*Model {
+	out := map[string]*Model{}
+	for _, m := range []*Model{GigECluster(), IBCluster(), SMPNode(), BigIBCluster()} {
+		out[m.Name] = m
+	}
+	return out
+}

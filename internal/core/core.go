@@ -1,0 +1,100 @@
+// Package core is the characterization harness — the study's primary
+// deliverable. It defines the reconstructed evaluation as a registry of
+// experiments (tables T1-T4 and figures F1-F16, see DESIGN.md), each of
+// which drives the benchmark suites over the modeled platforms and
+// renders its table or figure data to a writer. cmd/charhpc runs the
+// whole registry; bench_test.go exposes one bench target per experiment.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Scale selects the sweep sizes: Quick keeps everything small enough
+// for unit tests and benchmark iterations; Full reproduces the
+// paper-scale sweeps.
+type Scale int
+
+const (
+	// Quick runs reduced sweeps (seconds).
+	Quick Scale = iota
+	// Full runs paper-scale sweeps (minutes).
+	Full
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md ("T1", "F5", ...).
+	ID string
+	// Title describes what the table/figure shows.
+	Title string
+	// Kind is "table" or "figure".
+	Kind string
+	// Run produces the experiment's output.
+	Run func(w io.Writer, s Scale) error
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment at package init time.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("core: duplicate experiment %s", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every registered experiment, tables first, each group in
+// ID order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind == "table" && out[j].Kind != "table"
+		}
+		return idLess(out[i].ID, out[j].ID)
+	})
+	return out
+}
+
+// idLess orders "F2" before "F10".
+func idLess(a, b string) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	var na, nb int
+	fmt.Sscanf(a[1:], "%d", &na)
+	fmt.Sscanf(b[1:], "%d", &nb)
+	return na < nb
+}
+
+// RunAll executes every experiment against w, stopping at the first
+// error.
+func RunAll(w io.Writer, s Scale) error {
+	for _, e := range All() {
+		fmt.Fprintf(w, "\n### %s (%s): %s\n", e.ID, e.Kind, e.Title)
+		if err := e.Run(w, s); err != nil {
+			return fmt.Errorf("core: experiment %s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

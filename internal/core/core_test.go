@@ -1,0 +1,191 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every experiment promised in DESIGN.md must be registered.
+	want := []string{
+		"T1", "T2", "T3", "T4",
+		"F1", "F2", "F3", "F4", "F5", "F6", "F7",
+		"F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16",
+	}
+	for _, id := range want {
+		e, ok := Get(id)
+		if !ok {
+			t.Errorf("experiment %s missing from registry", id)
+			continue
+		}
+		if e.ID != id || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s malformed: %+v", id, e)
+		}
+		if e.Kind != "table" && e.Kind != "figure" {
+			t.Errorf("experiment %s has kind %q", id, e.Kind)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	all := All()
+	// Tables first.
+	sawFigure := false
+	for _, e := range all {
+		if e.Kind == "figure" {
+			sawFigure = true
+		} else if sawFigure {
+			t.Fatalf("table %s after a figure", e.ID)
+		}
+	}
+	// F2 before F10.
+	pos := map[string]int{}
+	for i, e := range all {
+		pos[e.ID] = i
+	}
+	if pos["F2"] > pos["F10"] {
+		t.Error("numeric ID ordering broken: F2 after F10")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("Z9"); ok {
+		t.Error("unknown experiment found")
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Error("Scale strings wrong")
+	}
+}
+
+// The experiment smoke tests run each experiment at Quick scale and make
+// shape assertions on the rendered output — these are the "who wins"
+// checks from DESIGN.md.
+
+func runExp(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := Get(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	var b bytes.Buffer
+	if err := e.Run(&b, Quick); err != nil {
+		t.Fatalf("experiment %s failed: %v", id, err)
+	}
+	out := b.String()
+	if len(out) == 0 {
+		t.Fatalf("experiment %s produced no output", id)
+	}
+	return out
+}
+
+func TestT1PlatformTable(t *testing.T) {
+	out := runExp(t, "T1")
+	for _, want := range []string{"gige-8n", "ib-8n", "intra-socket", "inter-node"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T1 missing %q", want)
+		}
+	}
+}
+
+func TestF1LatencyShape(t *testing.T) {
+	out := runExp(t, "F1")
+	if !strings.Contains(out, "ib-8n/intra-socket") || !strings.Contains(out, "gige-8n/inter-node") {
+		t.Errorf("F1 missing series: %s", out)
+	}
+}
+
+func TestF4MultiPair(t *testing.T) {
+	out := runExp(t, "F4")
+	if !strings.Contains(out, "msg=65536B") {
+		t.Errorf("F4 missing series: %s", out)
+	}
+}
+
+func TestF13FitQuality(t *testing.T) {
+	out := runExp(t, "F13")
+	if !strings.Contains(out, "L+2o") || !strings.Contains(out, "G (ns/byte)") {
+		t.Errorf("F13 missing parameters: %s", out)
+	}
+}
+
+func TestT2StreamTable(t *testing.T) {
+	out := runExp(t, "T2")
+	for _, k := range []string{"Copy", "Scale", "Add", "Triad"} {
+		if !strings.Contains(out, k) {
+			t.Errorf("T2 missing kernel %s", k)
+		}
+	}
+}
+
+func TestF5Collectives(t *testing.T) {
+	out := runExp(t, "F5")
+	for _, series := range []string{"barrier", "bcast-8B", "allreduce-65536B", "alltoall-1KiB"} {
+		if !strings.Contains(out, series) {
+			t.Errorf("F5 missing series %s", series)
+		}
+	}
+}
+
+func TestF8HPLScaling(t *testing.T) {
+	out := runExp(t, "F8")
+	if !strings.Contains(out, "ib-8n") || !strings.Contains(out, "gige-8n") {
+		t.Errorf("F8 missing platforms: %s", out)
+	}
+}
+
+func TestT3Summary(t *testing.T) {
+	out := runExp(t, "T3")
+	for _, k := range []string{"HPL", "RandomAccess", "PTRANS", "FFT", "DGEMM", "RandomRing"} {
+		if !strings.Contains(out, k) {
+			t.Errorf("T3 missing kernel %s", k)
+		}
+	}
+}
+
+func TestT4Comparison(t *testing.T) {
+	out := runExp(t, "T4")
+	// IB must win the latency-sensitive rows.
+	if !strings.Contains(out, "8B latency") {
+		t.Fatalf("T4 missing latency row: %s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "8B latency") && !strings.HasSuffix(strings.TrimSpace(line), "ib") {
+			t.Errorf("T4: GigE won small-message latency: %q", line)
+		}
+		if strings.Contains(line, "GUPS") && !strings.HasSuffix(strings.TrimSpace(line), "ib") {
+			t.Errorf("T4: GigE won GUPS: %q", line)
+		}
+	}
+}
+
+func TestF12EagerRendezvousShape(t *testing.T) {
+	out := runExp(t, "F12")
+	for _, series := range []string{"always-eager", "always-rendezvous", "default-8KiB"} {
+		if !strings.Contains(out, series) {
+			t.Errorf("F12 missing series %s", series)
+		}
+	}
+}
+
+func TestF14PlacementSeries(t *testing.T) {
+	out := runExp(t, "F14")
+	if !strings.Contains(out, "ib-8n/block") || !strings.Contains(out, "ib-8n/cyclic") {
+		t.Errorf("F14 missing placement series: %s", out)
+	}
+}
+
+func TestF15ApplicationKernels(t *testing.T) {
+	out := runExp(t, "F15")
+	for _, k := range []string{"EP", "IS", "CG"} {
+		if !strings.Contains(out, k) {
+			t.Errorf("F15 missing kernel %s", k)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/mp"
+	"repro/internal/nas"
+	"repro/internal/osu"
+	"repro/internal/report"
+	"repro/internal/sparse"
+	"repro/internal/stencil"
+)
+
+func init() {
+	register(Experiment{ID: "F14", Kind: "figure", Run: runF14,
+		Title: "Rank placement ablation: block vs cyclic latency distribution"})
+	register(Experiment{ID: "F15", Kind: "table", Run: runF15,
+		Title: "Application kernels (EP, IS, stencil, CG) across fabrics"})
+}
+
+// runF14 measures the p2p latency between consecutive rank pairs under
+// both placement policies: block placement keeps neighbours on-node
+// (until the node boundary), cyclic forces every pair off-node. The
+// same job, placed differently, sees a different latency distribution —
+// the placement lever every MPI launcher exposes.
+func runF14(w io.Writer, s Scale) error {
+	iters := 30
+	if s == Full {
+		iters = 200
+	}
+	fig := report.NewFigure("8B latency between ranks (r, r+1), by placement",
+		"first rank of pair", "microseconds")
+	for _, placement := range []cluster.Placement{cluster.Block, cluster.Cyclic} {
+		m := cluster.IBCluster()
+		m.Placement = placement
+		n := m.Topo.TotalCores()
+		series := fig.AddSeries("ib-8n/" + placement.String())
+		step := 3
+		if s == Full {
+			step = 1
+		}
+		for a := 0; a+1 < n; a += step {
+			opts := osu.Options{Sizes: []int{8}, Warmup: 3, Iters: iters, Window: 8,
+				PairA: a, PairB: a + 1}
+			samples, err := runP2PCurve(m, a, a+1, opts, osu.Latency)
+			if err != nil {
+				return err
+			}
+			series.Add(float64(a), samples[0].Value*1e6)
+		}
+	}
+	return fig.Fprint(w)
+}
+
+// runF15 runs the three application-level workloads on both fabrics:
+// EP (compute-only: fabric-insensitive), IS (one alltoallv:
+// bisection-bound), CG (allgather+allreduce per iteration:
+// latency-bound). Their contrast is the application-level summary of
+// the platform characterization.
+func runF15(w io.Writer, s Scale) error {
+	p := 8
+	pairsPerRank := 20000
+	keysPerRank := 20000
+	cgN := 512
+	if s == Full {
+		pairsPerRank = 200000
+		keysPerRank = 200000
+		cgN = 2048
+	}
+
+	stencilN := 64
+	if s == Full {
+		stencilN = 256
+	}
+
+	t := report.NewTable(fmt.Sprintf("Application kernels (p=%d, one rank/node)", p),
+		"kernel", "metric", "gige-8n", "ib-8n", "ib/gige")
+
+	type row struct{ ep, is, st, cg float64 }
+	results := map[string]row{}
+	for _, mk := range []func() *cluster.Model{cluster.GigECluster, cluster.IBCluster} {
+		m := mk()
+		m.Placement = cluster.Cyclic
+		var r row
+		cfg := mp.Config{Fabric: mp.Sim, Model: m}
+		err := mp.Run(p, cfg, func(c *mp.Comm) error {
+			ep, err := nas.EP(c, nas.EPConfig{
+				PairsPerRank: pairsPerRank, Seed: 1, ComputeRate: m.FlopsPerCore / 50,
+			})
+			if err != nil {
+				return err
+			}
+			is, err := nas.IS(c, nas.ISConfig{
+				KeysPerRank: keysPerRank, MaxKey: 1 << 20, Seed: 2,
+			})
+			if err != nil {
+				return err
+			}
+			_, st, err := stencil.Jacobi(c, stencil.Config{
+				NX: stencilN, NY: stencilN, Iters: 50, ComputeRate: 1e9,
+			})
+			if err != nil {
+				return err
+			}
+			cgTime, err := runCG(c, cgN, p)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				r = row{ep: ep.MopsPerS, is: is.MKeysPerS, st: st.CellsPerS, cg: cgTime}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("platform %s: %w", m.Name, err)
+		}
+		results[m.Name] = r
+	}
+	g, ib := results["gige-8n"], results["ib-8n"]
+	t.AddRow("EP", "Mpairs/s", g.ep, ib.ep, ratio(ib.ep, g.ep))
+	t.AddRow("IS", "Mkeys/s", g.is, ib.is, ratio(ib.is, g.is))
+	t.AddRow("Stencil", "Mcells/s", g.st/1e6, ib.st/1e6, ratio(ib.st, g.st))
+	t.AddRow("CG", "time (ms)", g.cg*1e3, ib.cg*1e3, ratio(g.cg, ib.cg))
+	return t.Fprint(w)
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// runCG runs one distributed CG solve and returns the modeled solve
+// time on rank 0.
+func runCG(c *mp.Comm, n, p int) (float64, error) {
+	a, err := sparse.RandomSPD(n, 5, 77)
+	if err != nil {
+		return 0, err
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = math.Sin(float64(i) / 3)
+	}
+	b := make([]float64, n)
+	if err := a.MatVec(xTrue, b); err != nil {
+		return 0, err
+	}
+	counts := make([]int, p)
+	for i := range counts {
+		counts[i] = n / p
+	}
+	counts[p-1] += n % p
+	lo := c.Rank() * (n / p)
+	hi := lo + counts[c.Rank()]
+	aLoc, err := a.RowSlice(lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	t0 := c.Time()
+	_, res, err := sparse.DistCG(c, aLoc, b[lo:hi], counts, 5*n, 1e-9)
+	if err != nil {
+		return 0, err
+	}
+	if !res.Converged {
+		return 0, fmt.Errorf("core: CG did not converge: %+v", res)
+	}
+	return c.Time() - t0, nil
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+
+	"repro/internal/cluster"
+	"repro/internal/hpcc"
+	"repro/internal/mp"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{ID: "F8", Kind: "figure", Run: runF8,
+		Title: "HPL GFLOP/s vs process count (strong + weak scaling)"})
+	register(Experiment{ID: "F9", Kind: "figure", Run: runF9,
+		Title: "RandomAccess GUPS vs process count"})
+	register(Experiment{ID: "F10", Kind: "figure", Run: runF10,
+		Title: "PTRANS bandwidth vs process count"})
+	register(Experiment{ID: "F11", Kind: "figure", Run: runF11,
+		Title: "Distributed FFT GFLOP/s vs transform size"})
+	register(Experiment{ID: "T3", Kind: "table", Run: runT3,
+		Title: "HPCC suite summary (IB platform, p=8)"})
+	register(Experiment{ID: "F16", Kind: "figure", Run: runF16,
+		Title: "HPL block-size (NB) ablation"})
+}
+
+func hpccProcs(s Scale) []int {
+	if s == Full {
+		return []int{1, 2, 4, 8, 16}
+	}
+	return []int{1, 2, 4}
+}
+
+func runF8(w io.Writer, s Scale) error {
+	n := 192
+	nb := 32
+	if s == Full {
+		n = 768
+		nb = 64
+	}
+	fig := report.NewFigure(fmt.Sprintf("HPL scaling (strong: N=%d; weak: N grows as sqrt(p); NB=%d)", n, nb),
+		"processes", "GFLOP/s")
+	runOne := func(m *cluster.Model, p, order int) (float64, error) {
+		var g float64
+		cfg := mp.Config{Fabric: mp.Sim, Model: m}
+		err := mp.Run(p, cfg, func(c *mp.Comm) error {
+			res, err := hpcc.HPL(c, hpcc.HPLConfig{
+				N: order, NB: nb, Seed: 7, Threads: 1,
+				ComputeRate: m.FlopsPerCore, SkipCheck: true,
+			})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				g = res.GFlops
+			}
+			return nil
+		})
+		return g, err
+	}
+	for _, m := range []*cluster.Model{cluster.IBCluster(), cluster.GigECluster()} {
+		m := m
+		m.Placement = cluster.Cyclic // one rank per node: comm dominated
+		strong := fig.AddSeries(m.Name + "/strong")
+		weak := fig.AddSeries(m.Name + "/weak")
+		for _, p := range hpccProcs(s) {
+			if p > m.Topo.Nodes {
+				continue
+			}
+			g, err := runOne(m, p, n)
+			if err != nil {
+				return fmt.Errorf("HPL strong %s p=%d: %w", m.Name, p, err)
+			}
+			strong.Add(float64(p), g)
+			// Weak scaling: constant memory per rank, N ~ n*sqrt(p),
+			// rounded to a multiple of NB.
+			wn := int(float64(n)*math.Sqrt(float64(p))+0.5) / nb * nb
+			g, err = runOne(m, p, wn)
+			if err != nil {
+				return fmt.Errorf("HPL weak %s p=%d: %w", m.Name, p, err)
+			}
+			weak.Add(float64(p), g)
+		}
+	}
+	return fig.Fprint(w)
+}
+
+// runF16 ablates the HPL panel width: small NB means frequent
+// small-panel broadcasts (latency-bound); large NB means poor
+// load balance and a long unblocked panel factorization. The sweet spot
+// in between is exactly the NB-tuning exercise every HPL run starts
+// with.
+func runF16(w io.Writer, s Scale) error {
+	n := 256
+	nbs := []int{8, 16, 32, 64, 128}
+	if s == Full {
+		n = 768
+		nbs = []int{8, 16, 32, 64, 128, 256}
+	}
+	fig := report.NewFigure(fmt.Sprintf("HPL GFLOP/s vs block size (N=%d, p=4)", n),
+		"NB", "GFLOP/s")
+	for _, m := range []*cluster.Model{cluster.IBCluster(), cluster.GigECluster()} {
+		m := m
+		m.Placement = cluster.Cyclic
+		series := fig.AddSeries(m.Name)
+		for _, nb := range nbs {
+			var g float64
+			cfg := mp.Config{Fabric: mp.Sim, Model: m}
+			err := mp.Run(4, cfg, func(c *mp.Comm) error {
+				res, err := hpcc.HPL(c, hpcc.HPLConfig{
+					N: n, NB: nb, Seed: 7, ComputeRate: m.FlopsPerCore, SkipCheck: true,
+				})
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					g = res.GFlops
+				}
+				return nil
+			})
+			if err != nil {
+				return fmt.Errorf("HPL %s NB=%d: %w", m.Name, nb, err)
+			}
+			series.Add(float64(nb), g)
+		}
+	}
+	return fig.Fprint(w)
+}
+
+func runF9(w io.Writer, s Scale) error {
+	bits := 12
+	if s == Full {
+		bits = 16
+	}
+	fig := report.NewFigure(fmt.Sprintf("RandomAccess GUPS vs processes (2^%d table)", bits),
+		"processes", "GUPS")
+	for _, m := range []*cluster.Model{cluster.IBCluster(), cluster.GigECluster()} {
+		m := m
+		m.Placement = cluster.Cyclic
+		series := fig.AddSeries(m.Name)
+		for _, p := range hpccProcs(s) {
+			if p&(p-1) != 0 || p > m.Topo.Nodes {
+				continue
+			}
+			var g float64
+			cfg := mp.Config{Fabric: mp.Sim, Model: m}
+			err := mp.Run(p, cfg, func(c *mp.Comm) error {
+				res, err := hpcc.RandomAccess(c, hpcc.GUPSConfig{
+					TableBits: bits, Chunk: 1024, ComputeRate: 2e8,
+				})
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					g = res.GUPS
+				}
+				return nil
+			})
+			if err != nil {
+				return fmt.Errorf("GUPS %s p=%d: %w", m.Name, p, err)
+			}
+			series.Add(float64(p), g)
+		}
+	}
+	return fig.Fprint(w)
+}
+
+func runF10(w io.Writer, s Scale) error {
+	n := 128
+	if s == Full {
+		n = 512
+	}
+	fig := report.NewFigure(fmt.Sprintf("PTRANS bandwidth vs processes (N=%d)", n),
+		"processes", "GB/s")
+	for _, m := range []*cluster.Model{cluster.IBCluster(), cluster.GigECluster()} {
+		m := m
+		m.Placement = cluster.Cyclic
+		series := fig.AddSeries(m.Name)
+		for _, p := range hpccProcs(s) {
+			if n%p != 0 || p > m.Topo.Nodes {
+				continue
+			}
+			var g float64
+			cfg := mp.Config{Fabric: mp.Sim, Model: m}
+			err := mp.Run(p, cfg, func(c *mp.Comm) error {
+				res, err := hpcc.PTRANS(c, hpcc.PTRANSConfig{N: n, Seed: 5, MemRate: m.MemBWPerCore})
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					g = res.GBps
+				}
+				return nil
+			})
+			if err != nil {
+				return fmt.Errorf("PTRANS %s p=%d: %w", m.Name, p, err)
+			}
+			series.Add(float64(p), g)
+		}
+	}
+	return fig.Fprint(w)
+}
+
+func runF11(w io.Writer, s Scale) error {
+	fig := report.NewFigure("Distributed FFT (p=4, IB) vs transform size", "points", "GFLOP/s")
+	m := cluster.IBCluster()
+	m.Placement = cluster.Cyclic
+	dims := [][2]int{{64, 64}, {128, 128}, {256, 256}}
+	if s == Full {
+		dims = append(dims, [2]int{512, 512}, [2]int{1024, 1024})
+	}
+	series := fig.AddSeries(m.Name)
+	for _, d := range dims {
+		var g float64
+		cfg := mp.Config{Fabric: mp.Sim, Model: m}
+		err := mp.Run(4, cfg, func(c *mp.Comm) error {
+			res, err := hpcc.DistFFT(c, hpcc.FFTConfig{
+				N1: d[0], N2: d[1], Seed: 3, ComputeRate: m.FlopsPerCore / 4,
+			})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				g = res.GFlops
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("FFT %dx%d: %w", d[0], d[1], err)
+		}
+		series.Add(float64(d[0]*d[1]), g)
+	}
+	return fig.Fprint(w)
+}
+
+func runT3(w io.Writer, s Scale) error {
+	m := cluster.IBCluster()
+	p := 8
+	hplN, bits, ptransN := 128, 12, 128
+	fftD := 128
+	if s == Full {
+		hplN, bits, ptransN, fftD = 512, 16, 512, 512
+	}
+	t := report.NewTable(fmt.Sprintf("HPCC summary (%s, p=%d)", m.Name, p),
+		"kernel", "metric", "value")
+
+	cfg := mp.Config{Fabric: mp.Sim, Model: m}
+	err := mp.Run(p, cfg, func(c *mp.Comm) error {
+		hpl, err := hpcc.HPL(c, hpcc.HPLConfig{
+			N: hplN, NB: 32, Seed: 7, ComputeRate: m.FlopsPerCore, SkipCheck: true,
+		})
+		if err != nil {
+			return err
+		}
+		g, err := hpcc.RandomAccess(c, hpcc.GUPSConfig{TableBits: bits, Chunk: 1024, ComputeRate: 2e8})
+		if err != nil {
+			return err
+		}
+		pt, err := hpcc.PTRANS(c, hpcc.PTRANSConfig{N: ptransN, Seed: 5, MemRate: m.MemBWPerCore})
+		if err != nil {
+			return err
+		}
+		ff, err := hpcc.DistFFT(c, hpcc.FFTConfig{N1: fftD, N2: fftD, Seed: 3, ComputeRate: m.FlopsPerCore / 4})
+		if err != nil {
+			return err
+		}
+		nat, err := hpcc.NaturalRing(c, 2048, 3, 20)
+		if err != nil {
+			return err
+		}
+		rnd, err := hpcc.RandomRing(c, 2048, 3, 20, 99)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			t.AddRow("HPL", "GFLOP/s", hpl.GFlops)
+			t.AddRow("RandomAccess", "GUPS", g.GUPS)
+			t.AddRow("PTRANS", "GB/s", pt.GBps)
+			t.AddRow("FFT", "GFLOP/s", ff.GFlops)
+			t.AddRow("RandomRing", "MB/s", rnd.Bandwidth/1e6)
+			t.AddRow("NaturalRing", "MB/s", nat.Bandwidth/1e6)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// DGEMM and STREAM run on the host (real compute), one node's worth.
+	dg, err := hpcc.DGEMM(hpcc.DGEMMConfig{N: dgemmN(s), Threads: runtime.GOMAXPROCS(0), Reps: 3, Seed: 1})
+	if err != nil {
+		return err
+	}
+	t.AddRow("DGEMM (host)", "GFLOP/s", dg.GFlops)
+	return t.Fprint(w)
+}
+
+func dgemmN(s Scale) int {
+	if s == Full {
+		return 512
+	}
+	return 128
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/hpcc"
+	"repro/internal/mp"
+	"repro/internal/osu"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "T1",
+		Title: "Modeled platform parameters (the testbed table)",
+		Kind:  "table",
+		Run:   runT1,
+	})
+	register(Experiment{
+		ID:    "T4",
+		Title: "Cross-platform comparison: GigE-class vs IB-class fabric",
+		Kind:  "table",
+		Run:   runT4,
+	})
+}
+
+// runT1 prints the platform inventory: what a measurement paper's
+// "experimental setup" table reports, except here the numbers are the
+// simulator's configured truth.
+func runT1(w io.Writer, _ Scale) error {
+	t := report.NewTable("Platform parameters",
+		"platform", "topology", "path", "latency(us)", "bandwidth(MB/s)")
+	for _, m := range []*cluster.Model{cluster.SMPNode(), cluster.GigECluster(), cluster.IBCluster()} {
+		for _, pc := range []cluster.PathClass{cluster.IntraSocket, cluster.IntraNode, cluster.InterNode} {
+			if m.Topo.Nodes == 1 && pc == cluster.InterNode {
+				continue
+			}
+			lp := m.Links.For(pc)
+			t.AddRow(m.Name, m.Topo.String(), pc.String(),
+				lp.TransferTime(8)*1e6, lp.Bandwidth()/1e6)
+		}
+	}
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	t2 := report.NewTable("Node parameters",
+		"platform", "mem BW/socket (GB/s)", "mem BW/core (GB/s)", "peak GFLOP/s/core")
+	for _, m := range []*cluster.Model{cluster.GigECluster(), cluster.IBCluster()} {
+		t2.AddRow(m.Name, m.MemBWPerSocket/1e9, m.MemBWPerCore/1e9, m.FlopsPerCore/1e9)
+	}
+	return t2.Fprint(w)
+}
+
+// runT4 runs the same battery on both fabrics and tabulates the
+// head-to-head, the paper's summary comparison.
+func runT4(w io.Writer, s Scale) error {
+	type row struct {
+		smallLat  float64 // 8B inter-node latency (us)
+		peakBW    float64 // 1 MiB p2p bandwidth (MB/s)
+		allreduce float64 // 8B allreduce latency @ p (us)
+		gups      float64
+		ringNat   float64 // natural ring bw (MB/s)
+		ringRnd   float64 // random ring bw (MB/s)
+	}
+	p := 8
+	tableBits := 14
+	iters := 50
+	if s == Quick {
+		tableBits = 10
+		iters = 10
+	}
+	results := map[string]row{}
+	for _, m := range []*cluster.Model{cluster.GigECluster(), cluster.IBCluster()} {
+		m := m
+		// One rank per node: cyclic placement puts neighbours off-node,
+		// so the fabric (not shared memory) is what gets compared.
+		m.Placement = cluster.Cyclic
+		var r row
+		cfg := mp.Config{Fabric: mp.Sim, Model: m}
+		err := mp.Run(p, cfg, func(c *mp.Comm) error {
+			opts := osu.Options{Sizes: []int{8, 1 << 20}, Warmup: 5, Iters: iters, Window: 32,
+				PairA: 0, PairB: p - 1}
+			lat, err := osu.Latency(c, opts)
+			if err != nil {
+				return err
+			}
+			bw, err := osu.Bandwidth(c, opts)
+			if err != nil {
+				return err
+			}
+			buf := make([]float64, 1)
+			out := make([]float64, 1)
+			ar, err := osu.CollectiveLatency(c, 5, iters, func() error {
+				return c.Allreduce(mp.OpSum, buf, out)
+			})
+			if err != nil {
+				return err
+			}
+			g, err := hpcc.RandomAccess(c, hpcc.GUPSConfig{TableBits: tableBits, Chunk: 1024, ComputeRate: 1e8})
+			if err != nil {
+				return err
+			}
+			nat, err := hpcc.NaturalRing(c, 4096, 5, iters)
+			if err != nil {
+				return err
+			}
+			rnd, err := hpcc.RandomRing(c, 4096, 5, iters, 99)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				r = row{
+					smallLat:  lat[0].Value * 1e6,
+					peakBW:    bw[1].Value / 1e6,
+					allreduce: ar * 1e6,
+					gups:      g.GUPS,
+					ringNat:   nat.Bandwidth / 1e6,
+					ringRnd:   rnd.Bandwidth / 1e6,
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("platform %s: %w", m.Name, err)
+		}
+		results[m.Name] = r
+	}
+	t := report.NewTable(fmt.Sprintf("Platform comparison (p=%d, one rank/node)", p),
+		"metric", "gige-8n", "ib-8n", "winner")
+	g, ib := results["gige-8n"], results["ib-8n"]
+	add := func(name string, gv, iv float64, lowerBetter bool) {
+		win := "ib"
+		if (lowerBetter && gv < iv) || (!lowerBetter && gv > iv) {
+			win = "gige"
+		}
+		t.AddRow(name, gv, iv, win)
+	}
+	add("8B latency (us)", g.smallLat, ib.smallLat, true)
+	add("1MiB p2p BW (MB/s)", g.peakBW, ib.peakBW, false)
+	add("8B allreduce (us)", g.allreduce, ib.allreduce, true)
+	add("RandomAccess (GUPS)", g.gups, ib.gups, false)
+	add("natural ring BW (MB/s)", g.ringNat, ib.ringNat, false)
+	add("random ring BW (MB/s)", g.ringRnd, ib.ringRnd, false)
+	return t.Fprint(w)
+}

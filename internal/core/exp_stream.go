@@ -1,0 +1,78 @@
+package core
+
+import (
+	"io"
+	"runtime"
+
+	"repro/internal/cluster"
+	"repro/internal/report"
+	"repro/internal/stream"
+)
+
+func init() {
+	register(Experiment{ID: "F7", Kind: "figure", Run: runF7,
+		Title: "STREAM Triad bandwidth vs thread count (measured + model)"})
+	register(Experiment{ID: "T2", Kind: "table", Run: runT2,
+		Title: "STREAM Copy/Scale/Add/Triad bandwidth table"})
+}
+
+func streamN(s Scale) int {
+	if s == Full {
+		return 8 << 20 // 64 MiB per array: beats any LLC
+	}
+	return 1 << 18
+}
+
+func runF7(w io.Writer, s Scale) error {
+	fig := report.NewFigure("STREAM Triad bandwidth vs threads", "threads", "MB/s")
+	maxT := runtime.GOMAXPROCS(0)
+	threads := []int{1}
+	for t := 2; t <= maxT; t *= 2 {
+		threads = append(threads, t)
+	}
+	ntimes := 5
+	if s == Full {
+		ntimes = 10
+	}
+
+	for _, ft := range []bool{true, false} {
+		name := "measured/first-touch"
+		if !ft {
+			name = "measured/serial-init"
+		}
+		series := fig.AddSeries(name)
+		for _, t := range threads {
+			res, err := stream.Run(stream.Config{
+				N: streamN(s), NTimes: ntimes, Threads: t, FirstTouch: ft,
+			})
+			if err != nil {
+				return err
+			}
+			series.Add(float64(t), res[3].MBps()) // Triad
+		}
+	}
+
+	// Model curve from the SMP node parameters.
+	m := cluster.SMPNode()
+	series := fig.AddSeries("model/" + m.Name)
+	for _, t := range threads {
+		bw := stream.ModelTriadRate(t, m.Topo.CoresPerSocket, m.MemBWPerCore, m.MemBWPerSocket)
+		series.Add(float64(t), bw/1e6)
+	}
+	return fig.Fprint(w)
+}
+
+func runT2(w io.Writer, s Scale) error {
+	res, err := stream.Run(stream.Config{
+		N: streamN(s), NTimes: 10, FirstTouch: true,
+	})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("STREAM results (best rate)",
+		"kernel", "MB/s", "avg time (s)", "min time (s)", "max time (s)")
+	for _, r := range res {
+		t.AddRow(r.Kernel.String(), r.MBps(), r.AvgTime, r.MinTime, r.MaxTime)
+	}
+	return t.Fprint(w)
+}

@@ -1,0 +1,11 @@
+package hpcc
+
+import "repro/internal/bytesview"
+
+// Byte views over numeric slices for the byte-oriented transport; see
+// internal/bytesview.
+func f64b(xs []float64) []byte     { return bytesview.F64(xs) }
+func u64b(xs []uint64) []byte      { return bytesview.U64(xs) }
+func c128b(xs []complex128) []byte { return bytesview.C128(xs) }
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }

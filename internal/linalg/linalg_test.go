@@ -1,0 +1,370 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := New(3, 4)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Error("At/Set broken")
+	}
+	if len(m.Row(1)) != 4 || m.Row(1)[2] != 7.5 {
+		t.Error("Row broken")
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m, err := FromSlice(2, 3, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 4 {
+		t.Error("FromSlice layout wrong")
+	}
+	if _, err := FromSlice(2, 2, data); err == nil {
+		t.Error("bad length accepted")
+	}
+	// Shares storage.
+	data[0] = 42
+	if m.At(0, 0) != 42 {
+		t.Error("FromSlice copied")
+	}
+}
+
+func TestViewSharesStorage(t *testing.T) {
+	m := New(4, 4)
+	v := m.View(1, 1, 2, 2)
+	v.Set(0, 0, 9)
+	if m.At(1, 1) != 9 {
+		t.Error("view does not alias parent")
+	}
+	if v.Rows != 2 || v.Cols != 2 {
+		t.Error("view shape wrong")
+	}
+}
+
+func TestViewBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range view did not panic")
+		}
+	}()
+	New(3, 3).View(1, 1, 3, 3)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 5)
+	if m.At(0, 0) != 1 {
+		t.Error("clone aliases original")
+	}
+	if !m.Equalish(m.Clone(), 0) {
+		t.Error("clone not equal")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m, _ := FromSlice(2, 2, []float64{1, -2, 3, 4})
+	if m.NormInf() != 7 {
+		t.Errorf("NormInf = %v, want 7", m.NormInf())
+	}
+	want := math.Sqrt(1 + 4 + 9 + 16)
+	if math.Abs(m.NormFro()-want) > 1e-12 {
+		t.Errorf("NormFro = %v, want %v", m.NormFro(), want)
+	}
+	if VecNormInf([]float64{1, -5, 2}) != 5 {
+		t.Error("VecNormInf wrong")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a, _ := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	y := make([]float64, 2)
+	if err := MatVec(a, []float64{1, 1, 1}, y); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 6 || y[1] != 15 {
+		t.Errorf("MatVec = %v", y)
+	}
+	if err := MatVec(a, []float64{1}, y); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+// gemmNaive is the reference implementation tests compare against.
+func gemmNaive(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+	}
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	cases := []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 4, 5}, {17, 23, 9}, {64, 64, 64}, {100, 37, 129}, {130, 257, 65},
+	}
+	for _, cs := range cases {
+		for _, threads := range []int{1, 4} {
+			a := New(cs.m, cs.k)
+			b := New(cs.k, cs.n)
+			a.FillRandom(1)
+			b.FillRandom(2)
+			c1 := New(cs.m, cs.n)
+			c1.FillRandom(3)
+			c2 := c1.Clone()
+			gemmNaive(1.5, a, b, 0.5, c1)
+			if err := Gemm(1.5, a, b, 0.5, c2, threads); err != nil {
+				t.Fatal(err)
+			}
+			if !c1.Equalish(c2, 1e-9) {
+				t.Errorf("%dx%dx%d threads=%d: blocked gemm disagrees with naive", cs.m, cs.k, cs.n, threads)
+			}
+		}
+	}
+}
+
+func TestGemmBetaZeroOverwritesNaN(t *testing.T) {
+	// beta=0 must overwrite even NaN garbage in C (BLAS semantics).
+	a := New(4, 4)
+	b := New(4, 4)
+	a.FillIdentity()
+	b.FillRandom(5)
+	c := New(4, 4)
+	for i := range c.Data {
+		c.Data[i] = math.NaN()
+	}
+	if err := Gemm(1, a, b, 0, c, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equalish(b, 1e-12) {
+		t.Error("beta=0 did not overwrite NaN")
+	}
+}
+
+func TestGemmDimensionMismatch(t *testing.T) {
+	if err := Gemm(1, New(2, 3), New(4, 5), 0, New(2, 5), 1); err == nil {
+		t.Error("mismatched inner dim accepted")
+	}
+	if err := Gemm(1, New(2, 3), New(3, 5), 0, New(3, 5), 1); err == nil {
+		t.Error("mismatched output accepted")
+	}
+}
+
+func TestGemmIdentityProperty(t *testing.T) {
+	f := func(seed uint16, dim uint8) bool {
+		n := int(dim)%20 + 1
+		a := New(n, n)
+		a.FillRandom(uint64(seed))
+		id := New(n, n)
+		id.FillIdentity()
+		c := New(n, n)
+		if err := Gemm(1, a, id, 0, c, 1); err != nil {
+			return false
+		}
+		return c.Equalish(a, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGemmFlops(t *testing.T) {
+	if GemmFlops(2, 3, 4) != 48 {
+		t.Errorf("GemmFlops = %v", GemmFlops(2, 3, 4))
+	}
+}
+
+func TestTrsmLowerUnit(t *testing.T) {
+	// L = [1 0; 2 1], B = L*X0 with X0 known.
+	l, _ := FromSlice(2, 2, []float64{1, 0, 2, 1})
+	x0, _ := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := New(2, 2)
+	gemmNaive(1, l, x0, 0, b)
+	if err := TrsmLowerUnitLeft(l, b); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equalish(x0, 1e-12) {
+		t.Errorf("trsm lower: got %+v", b.Data)
+	}
+}
+
+func TestTrsmUpper(t *testing.T) {
+	u, _ := FromSlice(2, 2, []float64{2, 1, 0, 4})
+	x0, _ := FromSlice(2, 2, []float64{1, -1, 0.5, 2})
+	b := New(2, 2)
+	gemmNaive(1, u, x0, 0, b)
+	if err := TrsmUpperLeft(u, b); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equalish(x0, 1e-12) {
+		t.Errorf("trsm upper: got %+v", b.Data)
+	}
+}
+
+func TestTrsmUpperSingular(t *testing.T) {
+	u, _ := FromSlice(2, 2, []float64{1, 1, 0, 0})
+	b := New(2, 1)
+	if err := TrsmUpperLeft(u, b); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestGetrfReconstructs(t *testing.T) {
+	// Verify P*A = L*U by reconstruction for several sizes and blocks.
+	for _, n := range []int{1, 2, 5, 16, 33, 64, 100} {
+		for _, nb := range []int{1, 4, 64} {
+			a := New(n, n)
+			a.FillRandom(uint64(n*1000 + nb))
+			orig := a.Clone()
+			piv := make([]int, n)
+			if err := Getrf(a, piv, nb, 1); err != nil {
+				t.Fatalf("n=%d nb=%d: %v", n, nb, err)
+			}
+			// Build L and U from the packed factor.
+			l := New(n, n)
+			u := New(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					switch {
+					case i > j:
+						l.Set(i, j, a.At(i, j))
+					case i == j:
+						l.Set(i, j, 1)
+						u.Set(i, j, a.At(i, j))
+					default:
+						u.Set(i, j, a.At(i, j))
+					}
+				}
+			}
+			lu := New(n, n)
+			gemmNaive(1, l, u, 0, lu)
+			// Apply the pivots to the original (P*A).
+			pa := orig.Clone()
+			for k, p := range piv {
+				swapRows(pa, k, p)
+			}
+			if !pa.Equalish(lu, 1e-8) {
+				t.Fatalf("n=%d nb=%d: P*A != L*U", n, nb)
+			}
+		}
+	}
+}
+
+func TestGetrfSingular(t *testing.T) {
+	a := New(3, 3) // all zeros
+	piv := make([]int, 3)
+	if err := Getrf(a, piv, 0, 1); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestGetrfPivLenCheck(t *testing.T) {
+	a := New(3, 3)
+	if err := Getrf(a, make([]int, 2), 0, 1); err == nil {
+		t.Error("short piv accepted")
+	}
+}
+
+func TestGetrsSolves(t *testing.T) {
+	for _, n := range []int{1, 3, 10, 50, 128} {
+		a := New(n, n)
+		a.FillRandom(uint64(n))
+		orig := a.Clone()
+		// b = A * xTrue
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = float64(i%7) - 3
+		}
+		b := make([]float64, n)
+		if err := MatVec(a, xTrue, b); err != nil {
+			t.Fatal(err)
+		}
+		piv := make([]int, n)
+		if err := Getrf(a, piv, 32, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := Getrs(a, piv, b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range b {
+			if math.Abs(b[i]-xTrue[i]) > 1e-6 {
+				t.Fatalf("n=%d: x[%d] = %v, want %v", n, i, b[i], xTrue[i])
+			}
+		}
+		// HPL-style residual must be O(1).
+		bb := make([]float64, n)
+		if err := MatVec(orig, xTrue, bb); err != nil {
+			t.Fatal(err)
+		}
+		res, err := HPLResidual(orig, b, bb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res > 16 {
+			t.Errorf("n=%d: HPL residual %v > 16", n, res)
+		}
+	}
+}
+
+func TestApplyPivRoundTrip(t *testing.T) {
+	piv := []int{2, 2, 3, 3}
+	x := []float64{0, 1, 2, 3}
+	ApplyPiv(piv, x)
+	// Forward application: step 0 swaps 0<->2, step 1 swaps 1<->2,
+	// step 2 swaps 2<->3, step 3 no-op.
+	want := []float64{2, 0, 3, 1}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("ApplyPiv = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestLUFlops(t *testing.T) {
+	got := LUFlops(10)
+	want := 2*1000.0/3 + 150
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("LUFlops(10) = %v, want %v", got, want)
+	}
+}
+
+func TestHPLResidualDetectsWrongSolution(t *testing.T) {
+	n := 20
+	a := New(n, n)
+	a.FillRandom(9)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	b := make([]float64, n)
+	if err := MatVec(a, x, b); err != nil {
+		t.Fatal(err)
+	}
+	good, err := HPLResidual(a, x, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good > 1 {
+		t.Errorf("exact solution residual = %v", good)
+	}
+	x[0] += 1 // corrupt
+	bad, err := HPLResidual(a, x, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad < 100 {
+		t.Errorf("corrupted solution residual = %v, want large", bad)
+	}
+}

@@ -1,0 +1,238 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when LU factorization meets an (effectively)
+// zero pivot.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// DefaultLUBlock is the panel width for the blocked LU; ablation benches
+// in internal/hpcc sweep it.
+const DefaultLUBlock = 64
+
+// TrsmLowerUnitLeft solves L*X = B in place (X overwrites B), where L is
+// lower triangular with unit diagonal (only the strict lower part of l
+// is referenced). l is n x n, b is n x m.
+func TrsmLowerUnitLeft(l, b *Matrix) error {
+	if l.Rows != l.Cols || l.Rows != b.Rows {
+		return errors.New("linalg: trsm dimension mismatch")
+	}
+	n, m := l.Rows, b.Cols
+	for i := 1; i < n; i++ {
+		bi := b.Data[i*b.Stride : i*b.Stride+m]
+		li := l.Row(i)
+		for k := 0; k < i; k++ {
+			lik := li[k]
+			if lik == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+m]
+			for j := range bi {
+				bi[j] -= lik * bk[j]
+			}
+		}
+	}
+	return nil
+}
+
+// TrsmUpperLeft solves U*X = B in place, where U is upper triangular
+// (diagonal included). u is n x n, b is n x m.
+func TrsmUpperLeft(u, b *Matrix) error {
+	if u.Rows != u.Cols || u.Rows != b.Rows {
+		return errors.New("linalg: trsm dimension mismatch")
+	}
+	n, m := u.Rows, b.Cols
+	for i := n - 1; i >= 0; i-- {
+		bi := b.Data[i*b.Stride : i*b.Stride+m]
+		ui := u.Row(i)
+		for k := i + 1; k < n; k++ {
+			uik := ui[k]
+			if uik == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+m]
+			for j := range bi {
+				bi[j] -= uik * bk[j]
+			}
+		}
+		d := ui[i]
+		if d == 0 {
+			return ErrSingular
+		}
+		inv := 1 / d
+		for j := range bi {
+			bi[j] *= inv
+		}
+	}
+	return nil
+}
+
+// getrfPanel factorizes the m x nb panel a in place with partial
+// pivoting (unblocked right-looking), recording pivot rows (absolute
+// within the panel) into piv. Row swaps are applied only within the
+// panel; the caller mirrors them across the rest of the matrix.
+func getrfPanel(a *Matrix, piv []int) error {
+	m, nb := a.Rows, a.Cols
+	for j := 0; j < nb && j < m; j++ {
+		// Pivot search in column j.
+		p := j
+		best := math.Abs(a.At(j, j))
+		for i := j + 1; i < m; i++ {
+			if v := math.Abs(a.At(i, j)); v > best {
+				best, p = v, i
+			}
+		}
+		piv[j] = p
+		if best == 0 {
+			return ErrSingular
+		}
+		if p != j {
+			rj, rp := a.Row(j), a.Row(p)
+			for k := range rj {
+				rj[k], rp[k] = rp[k], rj[k]
+			}
+		}
+		inv := 1 / a.At(j, j)
+		for i := j + 1; i < m; i++ {
+			lij := a.At(i, j) * inv
+			a.Set(i, j, lij)
+			if lij == 0 {
+				continue
+			}
+			ri := a.Data[i*a.Stride : i*a.Stride+nb]
+			rj := a.Data[j*a.Stride : j*a.Stride+nb]
+			for k := j + 1; k < nb; k++ {
+				ri[k] -= lij * rj[k]
+			}
+		}
+	}
+	return nil
+}
+
+// swapRows exchanges full rows i and p of a.
+func swapRows(a *Matrix, i, p int) {
+	if i == p {
+		return
+	}
+	ri, rp := a.Row(i), a.Row(p)
+	for k := range ri {
+		ri[k], rp[k] = rp[k], ri[k]
+	}
+}
+
+// Getrf computes the blocked right-looking LU factorization with partial
+// pivoting, in place: A = P*L*U with L unit lower and U upper
+// triangular, both stored in a. piv must have length min(rows, cols);
+// piv[k] = r means row k was swapped with row r at step k. nb is the
+// panel width (<=0 uses DefaultLUBlock); nthreads parallelizes the
+// trailing GEMM update.
+func Getrf(a *Matrix, piv []int, nb, nthreads int) error {
+	n := min(a.Rows, a.Cols)
+	if len(piv) != n {
+		return fmt.Errorf("linalg: piv length %d, want %d", len(piv), n)
+	}
+	if nb <= 0 {
+		nb = DefaultLUBlock
+	}
+	for j := 0; j < n; j += nb {
+		jb := min(nb, n-j)
+		// Factor the current panel (rows j.., cols j..j+jb).
+		panel := a.View(j, j, a.Rows-j, jb)
+		panelPiv := make([]int, jb)
+		if err := getrfPanel(panel, panelPiv); err != nil {
+			return err
+		}
+		// Mirror the panel's row swaps across the rest of the matrix
+		// and record absolute pivots.
+		for k := 0; k < jb; k++ {
+			p := panelPiv[k] + j // absolute row index
+			piv[j+k] = p
+			if p != j+k {
+				// Left of the panel.
+				if j > 0 {
+					swapRows(a.View(0, 0, a.Rows, j), j+k, p)
+				}
+				// Right of the panel.
+				if j+jb < a.Cols {
+					swapRows(a.View(0, j+jb, a.Rows, a.Cols-j-jb), j+k, p)
+				}
+			}
+		}
+		if j+jb < a.Cols {
+			// U12 := L11^-1 * A12
+			l11 := a.View(j, j, jb, jb)
+			a12 := a.View(j, j+jb, jb, a.Cols-j-jb)
+			if err := TrsmLowerUnitLeft(l11, a12); err != nil {
+				return err
+			}
+			// A22 -= L21 * U12 (the FLOP-dominant update).
+			if j+jb < a.Rows {
+				l21 := a.View(j+jb, j, a.Rows-j-jb, jb)
+				a22 := a.View(j+jb, j+jb, a.Rows-j-jb, a.Cols-j-jb)
+				if err := Gemm(-1, l21, a12, 1, a22, nthreads); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyPiv applies the pivot sequence recorded by Getrf to a vector
+// (forward order), i.e. computes P^T... the same permutation Getrf
+// applied to the matrix rows.
+func ApplyPiv(piv []int, x []float64) {
+	for k, p := range piv {
+		if p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+}
+
+// Getrs solves A*x = b given the factorization computed by Getrf
+// (lu holds L and U, piv the pivots). b is overwritten with the
+// solution.
+func Getrs(lu *Matrix, piv []int, b []float64) error {
+	if lu.Rows != lu.Cols || len(b) != lu.Rows {
+		return errors.New("linalg: getrs dimension mismatch")
+	}
+	ApplyPiv(piv, b)
+	bm := &Matrix{Rows: len(b), Cols: 1, Stride: 1, Data: b}
+	if err := TrsmLowerUnitLeft(lu, bm); err != nil {
+		return err
+	}
+	return TrsmUpperLeft(lu, bm)
+}
+
+// LUFlops returns the canonical HPL operation count for factoring and
+// solving an n x n system: 2n^3/3 + 3n^2/2.
+func LUFlops(n int) float64 {
+	nf := float64(n)
+	return 2*nf*nf*nf/3 + 3*nf*nf/2
+}
+
+// HPLResidual computes the scaled residual HPL uses for validation:
+//
+//	||Ax - b||_inf / (eps * (||A||_inf * ||x||_inf + ||b||_inf) * n)
+//
+// A run passes when the value is O(1) (HPL's threshold is 16).
+func HPLResidual(a *Matrix, x, b []float64) (float64, error) {
+	n := a.Rows
+	r := make([]float64, n)
+	if err := MatVec(a, x, r); err != nil {
+		return 0, err
+	}
+	for i := range r {
+		r[i] -= b[i]
+	}
+	eps := math.Nextafter(1, 2) - 1
+	denom := eps * (a.NormInf()*VecNormInf(x) + VecNormInf(b)) * float64(n)
+	if denom == 0 {
+		return 0, errors.New("linalg: degenerate residual denominator")
+	}
+	return VecNormInf(r) / denom, nil
+}

@@ -1,0 +1,165 @@
+// Package linalg provides the dense linear-algebra kernels under the
+// HPL and DGEMM benchmarks: a row-major matrix type, a blocked
+// cache-aware GEMM with optional goroutine parallelism, triangular
+// solves, and a blocked right-looking LU factorization with partial
+// pivoting, plus the norms and residual checks HPL uses for validation.
+// Everything is pure Go float64; no assembly and no external BLAS.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Matrix is a dense row-major matrix view. Stride is the distance in
+// Data between vertically adjacent elements (>= Cols), allowing
+// submatrix views without copying.
+type Matrix struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float64
+}
+
+// New allocates a zeroed rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Stride: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major, len rows*cols) without copying.
+func FromSlice(rows, cols int, data []float64) (*Matrix, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("linalg: data length %d != %d*%d", len(data), rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Stride: cols, Data: data}, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Stride+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Stride+j] = v }
+
+// Row returns row i as a slice sharing the matrix's storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Stride : i*m.Stride+m.Cols] }
+
+// View returns the submatrix [i0:i0+rows, j0:j0+cols) sharing storage.
+func (m *Matrix) View(i0, j0, rows, cols int) *Matrix {
+	if i0 < 0 || j0 < 0 || i0+rows > m.Rows || j0+cols > m.Cols {
+		panic(fmt.Sprintf("linalg: view [%d:%d,%d:%d) out of %dx%d",
+			i0, i0+rows, j0, j0+cols, m.Rows, m.Cols))
+	}
+	return &Matrix{
+		Rows: rows, Cols: cols, Stride: m.Stride,
+		Data: m.Data[i0*m.Stride+j0:],
+	}
+}
+
+// Clone returns a deep copy with a compact stride.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i))
+	}
+	return out
+}
+
+// Equalish reports whether two matrices agree elementwise within tol.
+func (m *Matrix) Equalish(other *Matrix, tol float64) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-other.At(i, j)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FillRandom fills the matrix with uniform values in [-0.5, 0.5) from a
+// deterministic stream, the HPL test-matrix distribution.
+func (m *Matrix) FillRandom(seed uint64) {
+	s := rng.NewSplitMix64(seed)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = s.Sym()
+		}
+	}
+}
+
+// FillIdentity writes the identity (rectangular: ones on the main
+// diagonal).
+func (m *Matrix) FillIdentity() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			if i == j {
+				row[j] = 1
+			} else {
+				row[j] = 0
+			}
+		}
+	}
+}
+
+// NormInf returns the infinity norm (max absolute row sum).
+func (m *Matrix) NormInf() float64 {
+	var best float64
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for _, v := range m.Row(i) {
+			s += math.Abs(v)
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// NormFro returns the Frobenius norm.
+func (m *Matrix) NormFro() float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.Row(i) {
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// VecNormInf returns max |x_i|.
+func VecNormInf(x []float64) float64 {
+	var best float64
+	for _, v := range x {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// MatVec computes y = A*x.
+func MatVec(a *Matrix, x, y []float64) error {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		return errors.New("linalg: matvec dimension mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package mp
+
+import "repro/internal/bytesview"
+
+// f64bytes returns xs viewed as a byte slice sharing the same memory;
+// see internal/bytesview for the rationale.
+func f64bytes(xs []float64) []byte { return bytesview.F64(xs) }

@@ -1,0 +1,158 @@
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// faultyConfig builds a config whose rank `failRank` starts failing
+// sends after `budget` packets.
+func faultyConfig(n, failRank int, budget int64) (Config, error) {
+	inner, err := transport.NewInProc(n)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{Custom: &transport.FaultyFabric{
+		Inner: inner, FailRank: failRank, FailAfter: budget,
+	}}, nil
+}
+
+// runWithTimeout fails the test if Run hangs: fault handling must abort
+// the job, never deadlock it.
+func runWithTimeout(t *testing.T, n int, cfg Config, f func(*Comm) error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- Run(n, cfg, f) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run hung after injected fault")
+		return nil
+	}
+}
+
+func TestFaultImmediateSendFails(t *testing.T) {
+	cfg, err := faultyConfig(2, 0, 0) // rank 0 cannot send at all
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runWithTimeout(t, 2, cfg, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, []byte("x"))
+		}
+		_, err := c.Recv(0, 1, make([]byte, 1))
+		return err
+	})
+	if !errors.Is(got, transport.ErrInjected) {
+		t.Errorf("err = %v, want ErrInjected", got)
+	}
+}
+
+func TestFaultMidCollectiveAborts(t *testing.T) {
+	// Rank 2's NIC dies partway through a barrier storm; every rank
+	// must come back with an error, promptly.
+	cfg, err := faultyConfig(4, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runWithTimeout(t, 4, cfg, func(c *Comm) error {
+		for i := 0; i < 100; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if got == nil {
+		t.Fatal("fault swallowed: Run returned nil")
+	}
+	if !errors.Is(got, transport.ErrInjected) {
+		t.Errorf("root cause missing: %v", got)
+	}
+}
+
+func TestFaultDuringRendezvous(t *testing.T) {
+	// The sender's RTS goes out, then its data send fails at CTS time:
+	// the blocked receiver must be released by the abort.
+	inner, err := transport.NewInProc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		EagerThreshold: -1, // all rendezvous
+		Custom:         &transport.FaultyFabric{Inner: inner, FailRank: 0, FailAfter: 1},
+	}
+	got := runWithTimeout(t, 2, cfg, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Send 1: the RTS (allowed). Send 2 would be RndvData
+			// (fails).
+			return c.Send(1, 1, make([]byte, 1000))
+		}
+		_, err := c.Recv(0, 1, make([]byte, 1000))
+		return err
+	})
+	if got == nil {
+		t.Fatal("rendezvous fault swallowed")
+	}
+}
+
+func TestFaultErrorIsPrimaryNotErrClosed(t *testing.T) {
+	// The joined error must surface the injected fault, with the
+	// secondary ErrClosed aborts suppressed.
+	cfg, err := faultyConfig(3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runWithTimeout(t, 3, cfg, func(c *Comm) error {
+		return c.Barrier()
+	})
+	if got == nil {
+		t.Fatal("no error")
+	}
+	if errors.Is(got, ErrClosed) {
+		t.Errorf("secondary ErrClosed not suppressed: %v", got)
+	}
+}
+
+func TestHealthyRunUnaffectedByAbortPath(t *testing.T) {
+	// A run where one rank returns an application error (no transport
+	// fault) must abort cleanly too.
+	boom := errors.New("application failure")
+	got := runWithTimeout(t, 3, Config{}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return boom
+		}
+		// Ranks 0 and 2 wait on rank 1 forever; the abort must free
+		// them.
+		_, err := c.Recv(1, 1, make([]byte, 1))
+		return err
+	})
+	if !errors.Is(got, boom) {
+		t.Errorf("err = %v, want application failure", got)
+	}
+}
+
+func TestFaultBudgetAllowsPrefix(t *testing.T) {
+	// With a generous budget the job completes; the wrapper must be
+	// transparent until the budget is exhausted.
+	cfg, err := faultyConfig(2, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runWithTimeout(t, 2, cfg, func(c *Comm) error {
+		for i := 0; i < 20; i++ {
+			if err := c.Barrier(); err != nil {
+				return fmt.Errorf("iter %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+	if got != nil {
+		t.Errorf("healthy-budget run failed: %v", got)
+	}
+}

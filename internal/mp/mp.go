@@ -1,0 +1,225 @@
+// Package mp is the message-passing runtime the benchmarks run on — the
+// stand-in for MPI (see DESIGN.md). It provides:
+//
+//   - SPMD launch: Run spawns n ranks as goroutines over a chosen fabric
+//     (in-process, virtual-time simulated, or loopback TCP).
+//   - Point-to-point: blocking Send/Recv, nonblocking Isend/Irecv with
+//     Requests, combined SendRecv, source/tag wildcards, and the MPI
+//     matching rules (FIFO per (src,dst), first-match against posted
+//     receives, unexpected-message queue).
+//   - Protocols: messages at or below the eager threshold are sent
+//     eagerly (buffered); larger messages use rendezvous (RTS/CTS),
+//     exactly the protocol split whose crossover the characterization
+//     measures (experiment F12).
+//   - Collectives: barrier, bcast, gather(v-less), scatter, allgather,
+//     alltoall over bytes, and reduce/allreduce/reduce-scatter/scan over
+//     float64 with selectable classic algorithms (experiment F6).
+//
+// Progress is single-threaded per rank, as in most MPI implementations:
+// a rank advances its pending operations only while it is inside an mp
+// call. Programs that would deadlock under MPI's semantics (e.g. two
+// ranks issuing large blocking sends to each other with no receives
+// posted) deadlock here too — by design.
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/transport"
+)
+
+// Wildcards for Recv/Irecv/Probe.
+const (
+	// AnySource matches a message from any rank.
+	AnySource = -1
+	// AnyTag matches a message with any user tag.
+	AnyTag = -1
+)
+
+// Internal collective tags live far below user tag space; user tags must
+// be >= 0.
+const collTagBase = -(1 << 20)
+
+// DefaultEagerThreshold is the protocol switch point in bytes, matching
+// the common MPI default for shared-memory BTLs.
+const DefaultEagerThreshold = 8192
+
+// Fabric selects the transport under the runtime.
+type Fabric int
+
+const (
+	// InProc exchanges packets through in-process mailboxes (wall-clock
+	// timing).
+	InProc Fabric = iota
+	// Sim exchanges packets in-process with virtual-time stamps from a
+	// cluster.Model; Comm.Time returns virtual seconds.
+	Sim
+	// TCP exchanges packets over loopback TCP sockets.
+	TCP
+)
+
+// String implements fmt.Stringer.
+func (f Fabric) String() string {
+	switch f {
+	case InProc:
+		return "inproc"
+	case Sim:
+		return "sim"
+	case TCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("Fabric(%d)", int(f))
+	}
+}
+
+// BcastAlgo selects the broadcast algorithm.
+type BcastAlgo int
+
+const (
+	// BcastAuto picks binomial for small messages and
+	// scatter-allgather for large ones.
+	BcastAuto BcastAlgo = iota
+	// BcastBinomial uses a binomial tree: ceil(log2 p) rounds, each
+	// carrying the full message. Best at small sizes.
+	BcastBinomial
+	// BcastScatterAllgather scatters 1/p of the message along a
+	// binomial tree and reassembles with a ring allgather (van de
+	// Geijn). Best at large sizes.
+	BcastScatterAllgather
+	// BcastPipelineRing streams fixed-size chunks down the rank ring;
+	// with enough chunks the cost approaches one message transfer time
+	// regardless of p, at the price of a (p-2)-chunk pipeline fill.
+	BcastPipelineRing
+)
+
+// AllreduceAlgo selects the allreduce algorithm.
+type AllreduceAlgo int
+
+const (
+	// AllreduceAuto picks recursive doubling for small vectors and
+	// Rabenseifner for large ones.
+	AllreduceAuto AllreduceAlgo = iota
+	// AllreduceRecursiveDoubling exchanges and combines full vectors
+	// in log2 p rounds.
+	AllreduceRecursiveDoubling
+	// AllreduceRabenseifner does a reduce-scatter (recursive halving)
+	// followed by an allgather (recursive doubling), moving 2(p-1)/p
+	// of the data instead of log2(p) copies.
+	AllreduceRabenseifner
+	// AllreduceRing is the bandwidth-optimal ring: p-1 reduce-scatter
+	// steps plus p-1 allgather steps.
+	AllreduceRing
+)
+
+// Config configures a Run.
+type Config struct {
+	// Fabric selects the transport; default InProc.
+	Fabric Fabric
+	// Model is the platform model; required for Sim, and also used by
+	// InProc/TCP runs that want placement-aware experiments.
+	Model *cluster.Model
+	// EagerThreshold is the eager/rendezvous switch in bytes;
+	// 0 means DefaultEagerThreshold, negative means "always rendezvous".
+	EagerThreshold int
+	// Bcast and Allreduce select collective algorithms.
+	Bcast     BcastAlgo
+	Allreduce AllreduceAlgo
+	// Custom, if non-nil, overrides Fabric/Model with a caller-supplied
+	// transport. Run closes it on completion.
+	Custom FabricProvider
+}
+
+func (c Config) eager() int {
+	switch {
+	case c.EagerThreshold == 0:
+		return DefaultEagerThreshold
+	case c.EagerThreshold < 0:
+		return -1 // every message takes the rendezvous path
+	default:
+		return c.EagerThreshold
+	}
+}
+
+// ErrInvalidSize is returned by Run for a non-positive rank count.
+var ErrInvalidSize = errors.New("mp: rank count must be >= 1")
+
+// FabricProvider supplies endpoints for a custom transport; tests use
+// it to inject fault-laden fabrics (see transport.FaultyFabric).
+type FabricProvider interface {
+	Endpoint(int) (transport.Endpoint, error)
+	Close() error
+}
+
+func newFabric(n int, cfg Config) (FabricProvider, error) {
+	if cfg.Custom != nil {
+		return cfg.Custom, nil
+	}
+	switch cfg.Fabric {
+	case InProc:
+		return transport.NewInProc(n)
+	case Sim:
+		return transport.NewSim(n, cfg.Model)
+	case TCP:
+		return transport.NewTCP(n)
+	default:
+		return nil, fmt.Errorf("mp: unknown fabric %v", cfg.Fabric)
+	}
+}
+
+// Run launches f on n ranks over the configured fabric and blocks until
+// every rank returns. It returns the first non-nil error (a panic in a
+// rank is converted to an error). The fabric is torn down before Run
+// returns.
+func Run(n int, cfg Config, f func(c *Comm) error) error {
+	if n < 1 {
+		return ErrInvalidSize
+	}
+	fab, err := newFabric(n, cfg)
+	if err != nil {
+		return err
+	}
+	defer fab.Close()
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		ep, err := fab.Endpoint(r)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(r int, ep transport.Endpoint) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("mp: rank %d panicked: %v", r, p)
+				}
+				// Abort-on-failure: a rank that exits with an error
+				// tears the fabric down so peers blocked on it fail
+				// with ErrClosed instead of hanging (the analogue of
+				// MPI's job abort).
+				if errs[r] != nil {
+					fab.Close()
+				}
+			}()
+			c := newComm(ep, cfg)
+			errs[r] = f(c)
+		}(r, ep)
+	}
+	wg.Wait()
+	// Suppress the secondary ErrClosed failures caused by an abort so
+	// the root cause is what callers see.
+	var primary []error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrClosed) {
+			primary = append(primary, err)
+		}
+	}
+	if len(primary) > 0 {
+		return errors.Join(primary...)
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,353 @@
+package mp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSplitEvenOdd(t *testing.T) {
+	err := Run(6, Config{}, func(c *Comm) error {
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		if sub == nil {
+			return errors.New("got nil communicator")
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size %d, want 3", sub.Size())
+		}
+		// Rank within the sub-communicator follows parent order.
+		wantRank := c.Rank() / 2
+		if sub.Rank() != wantRank {
+			return fmt.Errorf("sub rank %d, want %d", sub.Rank(), wantRank)
+		}
+		if sub.GlobalRank() != c.Rank() {
+			return fmt.Errorf("global rank %d, want %d", sub.GlobalRank(), c.Rank())
+		}
+		// A collective on the sub-communicator only sees its members.
+		sum, err := sub.AllreduceScalar(OpSum, float64(c.Rank()))
+		if err != nil {
+			return err
+		}
+		want := 0.0 + 2 + 4 // evens
+		if c.Rank()%2 == 1 {
+			want = 1.0 + 3 + 5
+		}
+		if sum != want {
+			return fmt.Errorf("sub allreduce = %v, want %v", sum, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitKeyReordersRanks(t *testing.T) {
+	err := Run(4, Config{}, func(c *Comm) error {
+		// Reverse order via descending keys.
+		sub, err := c.Split(0, -c.Rank())
+		if err != nil {
+			return err
+		}
+		want := 3 - c.Rank()
+		if sub.Rank() != want {
+			return fmt.Errorf("rank %d: sub rank %d, want %d", c.Rank(), sub.Rank(), want)
+		}
+		// Bcast from sub-rank 0 (= parent rank 3) must deliver to all.
+		buf := []byte{0}
+		if sub.Rank() == 0 {
+			buf[0] = 42
+		}
+		if err := sub.Bcast(0, buf); err != nil {
+			return err
+		}
+		if buf[0] != 42 {
+			return fmt.Errorf("bcast over reordered comm failed")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitUndefined(t *testing.T) {
+	err := Run(4, Config{}, func(c *Comm) error {
+		color := Undefined
+		if c.Rank() < 2 {
+			color = 0
+		}
+		sub, err := c.Split(color, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() < 2 {
+			if sub == nil || sub.Size() != 2 {
+				return fmt.Errorf("expected 2-rank comm, got %v", sub)
+			}
+		} else if sub != nil {
+			return fmt.Errorf("Undefined color returned a communicator")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitInvalidColor(t *testing.T) {
+	err := Run(1, Config{}, func(c *Comm) error {
+		if _, err := c.Split(-5, 0); err == nil {
+			return errors.New("negative color accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitTrafficIsolation(t *testing.T) {
+	// P2P with the same (src, tag) on parent and child communicators
+	// must not cross-match: context ids isolate them.
+	err := Run(2, Config{}, func(c *Comm) error {
+		sub, err := c.Split(0, c.Rank())
+		if err != nil {
+			return err
+		}
+		const tag = 5
+		if c.Rank() == 0 {
+			if err := c.Send(1, tag, []byte("world")); err != nil {
+				return err
+			}
+			return sub.Send(1, tag, []byte("child"))
+		}
+		// Receive from the child comm FIRST although the world message
+		// arrived first.
+		buf := make([]byte, 8)
+		st, err := sub.Recv(0, tag, buf)
+		if err != nil {
+			return err
+		}
+		if string(buf[:st.Count]) != "child" {
+			return fmt.Errorf("child comm got %q", buf[:st.Count])
+		}
+		st, err = c.Recv(0, tag, buf)
+		if err != nil {
+			return err
+		}
+		if string(buf[:st.Count]) != "world" {
+			return fmt.Errorf("world comm got %q", buf[:st.Count])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitNested(t *testing.T) {
+	// Split a split: 8 ranks -> two halves -> quarters.
+	err := Run(8, Config{}, func(c *Comm) error {
+		half, err := c.Split(c.Rank()/4, c.Rank())
+		if err != nil {
+			return err
+		}
+		quarter, err := half.Split(half.Rank()/2, half.Rank())
+		if err != nil {
+			return err
+		}
+		if quarter.Size() != 2 {
+			return fmt.Errorf("quarter size %d", quarter.Size())
+		}
+		sum, err := quarter.AllreduceScalar(OpSum, 1)
+		if err != nil {
+			return err
+		}
+		if sum != 2 {
+			return fmt.Errorf("quarter allreduce = %v", sum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRendezvousAcrossComms(t *testing.T) {
+	// Large (rendezvous) messages must respect context isolation too.
+	err := Run(2, Config{EagerThreshold: -1}, func(c *Comm) error {
+		sub, err := c.Split(0, c.Rank())
+		if err != nil {
+			return err
+		}
+		payload := bytes.Repeat([]byte{7}, 1<<15)
+		if c.Rank() == 0 {
+			sreq, err := c.Isend(1, 1, payload)
+			if err != nil {
+				return err
+			}
+			if err := sub.Send(1, 1, bytes.Repeat([]byte{9}, 1<<15)); err != nil {
+				return err
+			}
+			return c.waitFor(sreq)
+		}
+		buf := make([]byte, 1<<15)
+		if _, err := sub.Recv(0, 1, buf); err != nil {
+			return err
+		}
+		if buf[0] != 9 {
+			return fmt.Errorf("sub comm rendezvous got %d", buf[0])
+		}
+		if _, err := c.Recv(0, 1, buf); err != nil {
+			return err
+		}
+		if buf[0] != 7 {
+			return fmt.Errorf("world rendezvous got %d", buf[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDupPreservesGroup(t *testing.T) {
+	err := Run(4, Config{}, func(c *Comm) error {
+		dup, err := c.Dup()
+		if err != nil {
+			return err
+		}
+		if dup.Rank() != c.Rank() || dup.Size() != c.Size() {
+			return fmt.Errorf("dup rank/size %d/%d vs %d/%d",
+				dup.Rank(), dup.Size(), c.Rank(), c.Size())
+		}
+		// Traffic isolation between original and duplicate.
+		if c.Rank() == 0 {
+			if err := dup.Send(1, 1, []byte("dup")); err != nil {
+				return err
+			}
+			return c.Send(1, 1, []byte("org"))
+		}
+		if c.Rank() == 1 {
+			buf := make([]byte, 3)
+			if _, err := c.Recv(0, 1, buf); err != nil {
+				return err
+			}
+			if string(buf) != "org" {
+				return fmt.Errorf("original comm got %q", buf)
+			}
+			if _, err := dup.Recv(0, 1, buf); err != nil {
+				return err
+			}
+			if string(buf) != "dup" {
+				return fmt.Errorf("dup comm got %q", buf)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChildCtxDisjoint(t *testing.T) {
+	seen := map[uint64]bool{0: true} // world ctx reserved
+	for parent := uint64(0); parent < 3; parent++ {
+		for seq := uint64(1); seq < 10; seq++ {
+			for color := 0; color < 10; color++ {
+				ctx := childCtx(parent, seq, color)
+				if seen[ctx] {
+					t.Fatalf("ctx collision at (%d,%d,%d)", parent, seq, color)
+				}
+				seen[ctx] = true
+			}
+		}
+	}
+}
+
+func TestProbeAndIprobe(t *testing.T) {
+	err := Run(2, Config{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 9, []byte("probe me"))
+		}
+		// Probe must report the envelope without consuming.
+		st, err := c.Probe(0, 9)
+		if err != nil {
+			return err
+		}
+		if st.Source != 0 || st.Tag != 9 || st.Count != 8 {
+			return fmt.Errorf("probe status %+v", st)
+		}
+		// Iprobe also sees it.
+		st2, ok, err := c.Iprobe(AnySource, AnyTag)
+		if err != nil {
+			return err
+		}
+		if !ok || st2.Count != 8 {
+			return fmt.Errorf("iprobe = %v %+v", ok, st2)
+		}
+		// The message is still there for Recv.
+		buf := make([]byte, st.Count)
+		if _, err := c.Recv(0, 9, buf); err != nil {
+			return err
+		}
+		if string(buf) != "probe me" {
+			return fmt.Errorf("recv after probe got %q", buf)
+		}
+		// Nothing left.
+		_, ok, err = c.Iprobe(AnySource, AnyTag)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return errors.New("iprobe matched after message consumed")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeRendezvousReportsFullSize(t *testing.T) {
+	// Probing an RTS must report the announced payload size.
+	err := Run(2, Config{EagerThreshold: 16}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req, err := c.Isend(1, 3, make([]byte, 100000))
+			if err != nil {
+				return err
+			}
+			return c.waitFor(req)
+		}
+		st, err := c.Probe(0, 3)
+		if err != nil {
+			return err
+		}
+		if st.Count != 100000 {
+			return fmt.Errorf("probe count %d, want 100000", st.Count)
+		}
+		buf := make([]byte, st.Count)
+		_, err = c.Recv(0, 3, buf)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIprobeBadPeer(t *testing.T) {
+	err := Run(1, Config{}, func(c *Comm) error {
+		if _, _, err := c.Iprobe(5, 0); err == nil {
+			return errors.New("bad peer accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

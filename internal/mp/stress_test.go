@@ -1,0 +1,146 @@
+package mp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestRandomTrafficStress drives the matching engine with a randomized
+// all-pairs schedule: every rank sends K messages to every peer with
+// random sizes spanning the eager/rendezvous boundary and random posting
+// order on the receiver (half posted before arrival, half after). The
+// payload encodes (src, seq) so misrouted or reordered deliveries are
+// detected.
+func TestRandomTrafficStress(t *testing.T) {
+	const (
+		ranks       = 5
+		perPeer     = 20
+		eagerThresh = 512
+	)
+	for seed := uint64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := Config{EagerThreshold: eagerThresh}
+			err := Run(ranks, cfg, func(c *Comm) error {
+				gen := rng.NewSplitMix64(seed) // same schedule on all ranks
+				type msg struct{ size int }
+				// schedule[src][dst][k] = message size; derived
+				// identically on every rank from the shared stream.
+				schedule := make([][][]int, ranks)
+				for s := range schedule {
+					schedule[s] = make([][]int, ranks)
+					for d := range schedule[s] {
+						if s == d {
+							continue
+						}
+						sizes := make([]int, perPeer)
+						for k := range sizes {
+							sizes[k] = int(gen.Uint64() % (4 * eagerThresh))
+						}
+						schedule[s][d] = sizes
+					}
+				}
+
+				me := c.Rank()
+				// Pre-post half of the receives (even k) as Irecvs.
+				type pending struct {
+					req  *Request
+					src  int
+					k    int
+					buf  []byte
+					want int
+				}
+				var pre []pending
+				for src := 0; src < ranks; src++ {
+					if src == me {
+						continue
+					}
+					for k := 0; k < perPeer; k += 2 {
+						size := schedule[src][me][k]
+						buf := make([]byte, size)
+						req, err := c.Irecv(src, k, buf)
+						if err != nil {
+							return err
+						}
+						pre = append(pre, pending{req, src, k, buf, size})
+					}
+				}
+
+				// Fire all sends (nonblocking): tag = message index.
+				var sends []*Request
+				for dst := 0; dst < ranks; dst++ {
+					if dst == me {
+						continue
+					}
+					for k := 0; k < perPeer; k++ {
+						size := schedule[me][dst][k]
+						payload := make([]byte, size)
+						stamp(payload, me, k)
+						req, err := c.Isend(dst, k, payload)
+						if err != nil {
+							return err
+						}
+						sends = append(sends, req)
+					}
+				}
+
+				// Post the other half (odd k) late — these arrive
+				// unexpected.
+				for src := 0; src < ranks; src++ {
+					if src == me {
+						continue
+					}
+					for k := 1; k < perPeer; k += 2 {
+						size := schedule[src][me][k]
+						buf := make([]byte, size)
+						st, err := c.Recv(src, k, buf)
+						if err != nil {
+							return err
+						}
+						if st.Count != size {
+							return fmt.Errorf("src %d k %d: count %d want %d", src, k, st.Count, size)
+						}
+						if err := check(buf, src, k); err != nil {
+							return err
+						}
+					}
+				}
+				for _, p := range pre {
+					st, err := p.req.Wait()
+					if err != nil {
+						return err
+					}
+					if st.Count != p.want {
+						return fmt.Errorf("pre src %d k %d: count %d want %d", p.src, p.k, st.Count, p.want)
+					}
+					if err := check(p.buf, p.src, p.k); err != nil {
+						return err
+					}
+				}
+				return c.WaitAll(sends...)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// stamp writes a (src, k)-derived pattern over the payload.
+func stamp(buf []byte, src, k int) {
+	for i := range buf {
+		buf[i] = byte(src*31 + k*7 + i)
+	}
+}
+
+// check verifies the pattern.
+func check(buf []byte, src, k int) error {
+	for i := range buf {
+		if buf[i] != byte(src*31+k*7+i) {
+			return fmt.Errorf("payload from %d tag %d corrupt at byte %d", src, k, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package mp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestTCPFabricFullStack exercises the complete runtime over real
+// loopback sockets: p2p across protocols, every collective family, and
+// a sub-communicator, in one job. This is the closest thing to an
+// end-to-end system test on a real network stack.
+func TestTCPFabricFullStack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration test skipped in -short mode")
+	}
+	const p = 6
+	cfg := Config{Fabric: TCP, EagerThreshold: 1024}
+	err := Run(p, cfg, func(c *Comm) error {
+		// P2P ring with mixed protocol sizes.
+		for _, size := range []int{16, 100000} {
+			out := make([]byte, size)
+			in := make([]byte, size)
+			for i := range out {
+				out[i] = byte(c.Rank() + i)
+			}
+			right := (c.Rank() + 1) % p
+			left := (c.Rank() - 1 + p) % p
+			if _, err := c.SendRecv(right, 1, out, left, 1, in); err != nil {
+				return err
+			}
+			for i := range in {
+				if in[i] != byte(left+i) {
+					return fmt.Errorf("size %d: ring data corrupt at %d", size, i)
+				}
+			}
+		}
+
+		// Collectives.
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		buf := make([]byte, 4096)
+		if c.Rank() == 0 {
+			for i := range buf {
+				buf[i] = byte(i * 13)
+			}
+		}
+		if err := c.Bcast(0, buf); err != nil {
+			return err
+		}
+		for i := range buf {
+			if buf[i] != byte(i*13) {
+				return fmt.Errorf("bcast corrupt at %d", i)
+			}
+		}
+		sum, err := c.AllreduceScalar(OpSum, float64(c.Rank()+1))
+		if err != nil {
+			return err
+		}
+		if want := float64(p*(p+1)) / 2; sum != want {
+			return fmt.Errorf("allreduce = %v, want %v", sum, want)
+		}
+		vec := make([]float64, 512)
+		for i := range vec {
+			vec[i] = float64(c.Rank())
+		}
+		out := make([]float64, 512)
+		if err := c.Allreduce(OpMax, vec, out); err != nil {
+			return err
+		}
+		if out[100] != float64(p-1) {
+			return fmt.Errorf("allreduce max = %v", out[100])
+		}
+
+		// Alltoall.
+		sb := make([]byte, p*8)
+		rb := make([]byte, p*8)
+		for d := 0; d < p; d++ {
+			for j := 0; j < 8; j++ {
+				sb[d*8+j] = byte(c.Rank()*16 + d)
+			}
+		}
+		if err := c.Alltoall(sb, rb); err != nil {
+			return err
+		}
+		for s := 0; s < p; s++ {
+			if rb[s*8] != byte(s*16+c.Rank()) {
+				return fmt.Errorf("alltoall from %d corrupt", s)
+			}
+		}
+
+		// Sub-communicator traffic over the same sockets.
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		subSum, err := sub.AllreduceScalar(OpSum, 1)
+		if err != nil {
+			return err
+		}
+		if int(subSum) != sub.Size() {
+			return fmt.Errorf("sub allreduce = %v", subSum)
+		}
+
+		// Scan as a final ordering-sensitive check.
+		res := make([]float64, 1)
+		if err := c.Scan(OpSum, []float64{1}, res); err != nil {
+			return err
+		}
+		if math.Abs(res[0]-float64(c.Rank()+1)) > 1e-12 {
+			return fmt.Errorf("scan = %v, want %d", res[0], c.Rank()+1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

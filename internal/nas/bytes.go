@@ -1,0 +1,6 @@
+package nas
+
+import "repro/internal/bytesview"
+
+// u64view returns xs viewed as bytes (zero-copy, same-process memory).
+func u64view(xs []uint64) []byte { return bytesview.U64(xs) }

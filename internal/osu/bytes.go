@@ -1,0 +1,7 @@
+package osu
+
+import "repro/internal/bytesview"
+
+// f64ToBytes views a float64 slice as bytes for transport through the
+// byte-oriented collectives.
+func f64ToBytes(xs []float64) []byte { return bytesview.F64(xs) }

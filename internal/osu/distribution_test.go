@@ -1,0 +1,91 @@
+package osu
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mp"
+)
+
+func TestLatencyDistributionBasic(t *testing.T) {
+	err := mp.Run(2, simCfg(), func(c *mp.Comm) error {
+		opts := Options{Sizes: []int{8, 4096}, Warmup: 2, Iters: 20}
+		dist, err := LatencyDistribution(c, opts)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 {
+			if dist != nil {
+				return fmt.Errorf("non-measuring rank got data")
+			}
+			return nil
+		}
+		if len(dist) != 2 {
+			return fmt.Errorf("got %d samples", len(dist))
+		}
+		for _, d := range dist {
+			s := d.Summary
+			if s.N != 20 {
+				return fmt.Errorf("size %d: n = %d, want 20", d.Size, s.N)
+			}
+			if !(s.Min <= s.Median && s.Median <= s.Max) {
+				return fmt.Errorf("size %d: ordering broken: %+v", d.Size, s)
+			}
+			if s.Min <= 0 {
+				return fmt.Errorf("size %d: non-positive latency %v", d.Size, s.Min)
+			}
+		}
+		// Larger messages take longer across the whole distribution.
+		if dist[1].Summary.Median <= dist[0].Summary.Median {
+			return fmt.Errorf("median did not grow with size: %v vs %v",
+				dist[1].Summary.Median, dist[0].Summary.Median)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyDistributionDeterministicOnSim(t *testing.T) {
+	// The Sim fabric is deterministic: two runs must agree exactly.
+	run := func() (float64, error) {
+		var med float64
+		err := mp.Run(2, mp.Config{Fabric: mp.Sim, Model: cluster.IBCluster()}, func(c *mp.Comm) error {
+			dist, err := LatencyDistribution(c, Options{Sizes: []int{1024}, Warmup: 2, Iters: 10})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				med = dist[0].Summary.Median
+			}
+			return nil
+		})
+		return med, err
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("sim distribution not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestLatencyDistributionValidation(t *testing.T) {
+	err := mp.Run(2, simCfg(), func(c *mp.Comm) error {
+		bad := Options{Sizes: []int{8}, PairA: 0, PairB: 5}
+		if _, err := LatencyDistribution(c, bad); err == nil {
+			return fmt.Errorf("bad pair accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package par
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Team is a persistent group of workers, the analogue of an OpenMP
+// parallel region that is entered repeatedly. Creating goroutines per
+// loop is cheap in Go but not free; STREAM-style kernels that time
+// sub-millisecond loops use a Team to keep workers hot and measure only
+// the loop body plus a barrier, matching how OpenMP runtimes behave.
+type Team struct {
+	n       int
+	work    []chan func(worker int)
+	done    chan struct{}
+	wg      sync.WaitGroup
+	barrier *Barrier
+	once    sync.Once
+}
+
+// NewTeam starts a team of n workers (n<=0 means DefaultThreads()).
+// The caller must Close the team when finished with it.
+func NewTeam(n int) *Team {
+	if n <= 0 {
+		n = DefaultThreads()
+	}
+	t := &Team{
+		n:       n,
+		work:    make([]chan func(int), n),
+		done:    make(chan struct{}),
+		barrier: NewBarrier(n),
+	}
+	for w := 0; w < n; w++ {
+		t.work[w] = make(chan func(int))
+		t.wg.Add(1)
+		go t.worker(w)
+	}
+	return t
+}
+
+func (t *Team) worker(w int) {
+	defer t.wg.Done()
+	for {
+		select {
+		case f := <-t.work[w]:
+			f(w)
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// Size returns the number of workers in the team.
+func (t *Team) Size() int { return t.n }
+
+// Run executes body(worker) on every worker and blocks until all return.
+// Panics in the body are re-raised on the calling goroutine.
+func (t *Team) Run(body func(worker int)) {
+	var wg sync.WaitGroup
+	wg.Add(t.n)
+	panics := make([]any, t.n)
+	for w := 0; w < t.n; w++ {
+		t.work[w] <- func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[w] = r
+				}
+			}()
+			body(w)
+		}
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("par: worker panicked: %v", p))
+		}
+	}
+}
+
+// Barrier returns the team-wide barrier for use inside Run bodies.
+func (t *Team) Barrier() *Barrier { return t.barrier }
+
+// ForStatic runs a statically scheduled loop over [0, n) on the team.
+func (t *Team) ForStatic(n int, body func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	base := n / t.n
+	rem := n % t.n
+	t.Run(func(w int) {
+		lo := w*base + min(w, rem)
+		size := base
+		if w < rem {
+			size++
+		}
+		if size > 0 {
+			body(lo, lo+size, w)
+		}
+	})
+}
+
+// Close shuts the team down. It is safe to call multiple times.
+func (t *Team) Close() {
+	t.once.Do(func() {
+		close(t.done)
+		t.wg.Wait()
+	})
+}
+
+// Barrier is a reusable cyclic barrier for n participants, the analogue
+// of "#pragma omp barrier". It uses a phase flag plus condition variable;
+// the two-phase design avoids the lost-wakeup problem when the barrier is
+// reused immediately.
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase uint64
+}
+
+// NewBarrier creates a barrier for n participants; n must be >= 1.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("par: barrier size must be >= 1")
+	}
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until n goroutines have called Wait for the current phase.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+package rng
+
+// The HPCC RandomAccess benchmark defines its update stream by the
+// primitive polynomial x^63 + x^2 + x + 1 over GF(2): the k-th value is
+// x^k mod p interpreted as a 64-bit word, and successive values follow
+// a_{n+1} = (a_n << 1) ^ (a_n < 0 ? POLY : 0). GUPSStart reproduces the
+// reference HPCC_starts() routine so that update streams — and therefore
+// the verification pass — match the published benchmark exactly.
+
+// GUPSPoly is the feedback polynomial used by HPCC RandomAccess.
+const GUPSPoly uint64 = 0x0000000000000007
+
+const gupsPeriod = 1317624576693539401 // (2^63 - 1) / 7, period of the sequence
+
+// GUPSStart returns the n-th element of the RandomAccess pseudo-random
+// sequence, allowing each rank to seek directly to its slice of the
+// global update stream. n may be any int64; it is reduced mod the period.
+func GUPSStart(n int64) uint64 {
+	for n < 0 {
+		n += gupsPeriod
+	}
+	for n > gupsPeriod {
+		n -= gupsPeriod
+	}
+	if n == 0 {
+		return 1
+	}
+
+	var m2 [64]uint64
+	temp := uint64(1)
+	for i := 0; i < 64; i++ {
+		m2[i] = temp
+		temp = gupsNext(gupsNext(temp))
+	}
+
+	i := 62
+	for i >= 0 && (n>>uint(i))&1 == 0 {
+		i--
+	}
+
+	ran := uint64(2)
+	for i > 0 {
+		temp = 0
+		for j := 0; j < 64; j++ {
+			if (ran>>uint(j))&1 != 0 {
+				temp ^= m2[j]
+			}
+		}
+		ran = temp
+		i--
+		if (n>>uint(i))&1 != 0 {
+			ran = gupsNext(ran)
+		}
+	}
+	return ran
+}
+
+// gupsNext advances the LFSR by one step.
+func gupsNext(v uint64) uint64 {
+	if int64(v) < 0 {
+		return (v << 1) ^ GUPSPoly
+	}
+	return v << 1
+}
+
+// GUPSStream generates successive values of the RandomAccess sequence.
+type GUPSStream struct {
+	v uint64
+}
+
+// NewGUPSStream returns a stream positioned at element n of the sequence.
+func NewGUPSStream(n int64) *GUPSStream { return &GUPSStream{v: GUPSStart(n)} }
+
+// Next returns the current value and advances the stream.
+func (g *GUPSStream) Next() uint64 {
+	v := g.v
+	g.v = gupsNext(g.v)
+	return v
+}

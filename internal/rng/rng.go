@@ -1,0 +1,101 @@
+// Package rng provides the deterministic pseudo-random generators used by
+// the benchmark kernels. The HPCC kernels specify their own generators so
+// that validation is reproducible across implementations:
+//
+//   - RandomAccess (GUPS) uses the x^63 + x^2 + x + 1 LFSR over GF(2)
+//     ("HPCC_starts"), reimplemented here bit-for-bit.
+//   - HPL-style matrix fill uses a SplitMix64-derived stream, which gives
+//     a well-conditioned random matrix with a cheap, seekable generator.
+//
+// All generators are plain value types, safe to copy, and each goroutine /
+// rank derives an independent stream from its rank id.
+package rng
+
+// SplitMix64 is a tiny, high-quality 64-bit generator (Steele et al.,
+// "Fast Splittable Pseudorandom Number Generators"). It is used for
+// matrix/vector fills and for seeding the other generators.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Uint64 returns the next value in the stream.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0,1) with 53 bits of precision.
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Sym returns a uniform value in [-0.5, 0.5), the fill distribution used
+// by HPL for generating well-conditioned test matrices.
+func (s *SplitMix64) Sym() float64 { return s.Float64() - 0.5 }
+
+// Xoshiro256ss is the xoshiro256** generator (Blackman & Vigna), used
+// where long non-overlapping streams are needed (per-thread STREAM
+// validation fills). The zero value is invalid; use NewXoshiro256ss.
+type Xoshiro256ss struct {
+	s [4]uint64
+}
+
+// NewXoshiro256ss seeds the generator from a single 64-bit seed via
+// SplitMix64, as recommended by the authors.
+func NewXoshiro256ss(seed uint64) *Xoshiro256ss {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256ss
+	for i := range x.s {
+		x.s[i] = sm.Uint64()
+	}
+	// Guard against the (astronomically unlikely) all-zero state.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value in the stream.
+func (x *Xoshiro256ss) Uint64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0,1).
+func (x *Xoshiro256ss) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// Jump advances the stream by 2^128 steps, yielding a non-overlapping
+// subsequence; call it rank times to derive per-rank streams.
+func (x *Xoshiro256ss) Jump() {
+	jump := [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := uint(0); b < 64; b++ {
+			if j&(1<<b) != 0 {
+				s0 ^= x.s[0]
+				s1 ^= x.s[1]
+				s2 ^= x.s[2]
+				s3 ^= x.s[3]
+			}
+			x.Uint64()
+		}
+	}
+	x.s[0], x.s[1], x.s[2], x.s[3] = s0, s1, s2, s3
+}

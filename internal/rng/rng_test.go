@@ -1,0 +1,179 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the public-domain C implementation.
+	s := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+		0x1b39896a51a8749b,
+	}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("SplitMix64(0) value %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSplitMix64Float64Range(t *testing.T) {
+	s := NewSplitMix64(12345)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestSplitMix64SymRange(t *testing.T) {
+	s := NewSplitMix64(99)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Sym()
+		if v < -0.5 || v >= 0.5 {
+			t.Fatalf("Sym out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < -0.01 || mean > 0.01 {
+		t.Errorf("Sym mean = %v, expected ~0", mean)
+	}
+}
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a, b := NewSplitMix64(7), NewSplitMix64(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestXoshiroNonZeroAndDistinctSeeds(t *testing.T) {
+	a := NewXoshiro256ss(1)
+	b := NewXoshiro256ss(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams from different seeds collide too often: %d/100", same)
+	}
+}
+
+func TestXoshiroFloat64Range(t *testing.T) {
+	x := NewXoshiro256ss(42)
+	for i := 0; i < 10000; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestXoshiroJumpDisjoint(t *testing.T) {
+	// After a jump the stream must not overlap the original prefix.
+	a := NewXoshiro256ss(3)
+	b := NewXoshiro256ss(3)
+	b.Jump()
+	seen := make(map[uint64]bool, 1000)
+	for i := 0; i < 1000; i++ {
+		seen[a.Uint64()] = true
+	}
+	collisions := 0
+	for i := 0; i < 1000; i++ {
+		if seen[b.Uint64()] {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Errorf("jumped stream overlaps original: %d collisions", collisions)
+	}
+}
+
+func TestGUPSStartZeroIsOne(t *testing.T) {
+	if got := GUPSStart(0); got != 1 {
+		t.Errorf("GUPSStart(0) = %d, want 1", got)
+	}
+}
+
+func TestGUPSStartMatchesIteration(t *testing.T) {
+	// GUPSStart(n) must equal n applications of the LFSR step to
+	// GUPSStart(0) — the seekable form agrees with the iterative form.
+	v := GUPSStart(0)
+	for n := int64(1); n <= 200; n++ {
+		v = gupsNext(v)
+		if got := GUPSStart(n); got != v {
+			t.Fatalf("GUPSStart(%d) = %#x, iterated = %#x", n, got, v)
+		}
+	}
+}
+
+func TestGUPSStartNegativeWraps(t *testing.T) {
+	if GUPSStart(-1) != GUPSStart(gupsPeriod-1) {
+		t.Error("negative index did not wrap to period-1")
+	}
+}
+
+func TestGUPSStreamMatchesStart(t *testing.T) {
+	g := NewGUPSStream(100)
+	for n := int64(100); n < 150; n++ {
+		if got := g.Next(); got != GUPSStart(n) {
+			t.Fatalf("stream at %d = %#x, want %#x", n, got, GUPSStart(n))
+		}
+	}
+}
+
+func TestGUPSSeekProperty(t *testing.T) {
+	// Property: GUPSStart(a+b) == advancing GUPSStart(a) by b steps.
+	f := func(a uint16, b uint8) bool {
+		v := GUPSStart(int64(a))
+		for i := 0; i < int(b); i++ {
+			v = gupsNext(v)
+		}
+		return v == GUPSStart(int64(a)+int64(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGUPSValuesNonRepeatingPrefix(t *testing.T) {
+	seen := make(map[uint64]bool, 4096)
+	g := NewGUPSStream(0)
+	for i := 0; i < 4096; i++ {
+		v := g.Next()
+		if seen[v] {
+			t.Fatalf("value repeated within 4096 steps at i=%d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkSplitMix64(b *testing.B) {
+	s := NewSplitMix64(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkGUPSStream(b *testing.B) {
+	g := NewGUPSStream(0)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= g.Next()
+	}
+	_ = sink
+}

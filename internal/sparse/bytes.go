@@ -1,0 +1,6 @@
+package sparse
+
+import "repro/internal/bytesview"
+
+// f64view returns xs viewed as bytes (zero-copy, same-process memory).
+func f64view(xs []float64) []byte { return bytesview.F64(xs) }

@@ -1,0 +1,385 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*m
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatalf("Summarize(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != 42 || s.Max != 42 || s.Mean != 42 || s.Median != 42 {
+		t.Errorf("single-sample summary wrong: %+v", s)
+	}
+	if s.Stddev != 0 {
+		t.Errorf("single-sample stddev = %v, want 0", s.Stddev)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if !almostEq(s.Stddev, want, 1e-12) {
+		t.Errorf("stddev = %v, want %v", s.Stddev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Summarize(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Summarize mutated input: %v", xs)
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if _, err := Quantile(xs, -0.1); err == nil {
+		t.Error("Quantile(-0.1) should error")
+	}
+	if _, err := Quantile(xs, 1.1); err == nil {
+		t.Error("Quantile(1.1) should error")
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Error("Quantile on empty should return ErrEmpty")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestMeanKahan(t *testing.T) {
+	// 1e16 + many small values: naive summation loses them.
+	xs := make([]float64, 0, 1001)
+	xs = append(xs, 1e16)
+	for i := 0; i < 1000; i++ {
+		xs = append(xs, 1)
+	}
+	got := Mean(xs)
+	want := (1e16 + 1000) / 1001
+	if !almostEq(got, want, 1e-15) {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(g, math.Sqrt(8), 1e-12) {
+		t.Errorf("GeoMean = %v, want sqrt(8)", g)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("GeoMean with 0 should error")
+	}
+	if _, err := GeoMean(nil); err != ErrEmpty {
+		t.Error("GeoMean(nil) should return ErrEmpty")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	h, err := HarmonicMean([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0 / (1 + 0.5 + 0.25)
+	if !almostEq(h, want, 1e-12) {
+		t.Errorf("HarmonicMean = %v, want %v", h, want)
+	}
+	if _, err := HarmonicMean([]float64{-1}); err == nil {
+		t.Error("HarmonicMean with negative should error")
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100} // 100 is an outlier
+	got, err := TrimmedMean(xs, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 { // trims 1 and 100, mean of {2,3,4}
+		t.Errorf("TrimmedMean = %v, want 3", got)
+	}
+	if _, err := TrimmedMean(xs, 0.5); err == nil {
+		t.Error("trim=0.5 should error")
+	}
+	if _, err := TrimmedMean(nil, 0.1); err != ErrEmpty {
+		t.Error("TrimmedMean(nil) should return ErrEmpty")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	small := make([]float64, 10)
+	big := make([]float64, 1000)
+	for i := range small {
+		small[i] = r.NormFloat64()
+	}
+	for i := range big {
+		big[i] = r.NormFloat64()
+	}
+	if CI95(big) >= CI95(small) {
+		t.Errorf("CI95 did not shrink: n=10 %v vs n=1000 %v", CI95(small), CI95(big))
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	xs := make([]float64, 500)
+	var a Accumulator
+	for i := range xs {
+		xs[i] = r.ExpFloat64() * 100
+		a.Add(xs[i])
+	}
+	if a.N() != len(xs) {
+		t.Fatalf("N = %d", a.N())
+	}
+	if !almostEq(a.Mean(), Mean(xs), 1e-10) {
+		t.Errorf("mean: accum %v batch %v", a.Mean(), Mean(xs))
+	}
+	if !almostEq(a.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("variance: accum %v batch %v", a.Variance(), Variance(xs))
+	}
+	s, _ := Summarize(xs)
+	if a.Min() != s.Min || a.Max() != s.Max {
+		t.Errorf("min/max mismatch")
+	}
+}
+
+func TestAccumulatorMergeProperty(t *testing.T) {
+	// Property: splitting a stream across two accumulators and merging
+	// equals accumulating the whole stream.
+	f := func(raw []uint16, split uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) / 7.0
+		}
+		k := int(split) % len(xs)
+		var whole, left, right Accumulator
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		for _, x := range xs[:k] {
+			left.Add(x)
+		}
+		for _, x := range xs[k:] {
+			right.Add(x)
+		}
+		left.Merge(&right)
+		return left.N() == whole.N() &&
+			almostEq(left.Mean(), whole.Mean(), 1e-9) &&
+			almostEq(left.Variance(), whole.Variance(), 1e-7) &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if !math.IsNaN(a.Mean()) || !math.IsNaN(a.Min()) || !math.IsNaN(a.Max()) {
+		t.Error("empty accumulator should report NaN")
+	}
+	var b Accumulator
+	b.Add(5)
+	a.Merge(&b) // merge into empty
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Errorf("merge into empty failed: %+v", a)
+	}
+	var c Accumulator
+	b.Merge(&c) // merge empty into non-empty: no-op
+	if b.N() != 1 {
+		t.Error("merging empty changed N")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	f, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Slope, 2, 1e-12) || !almostEq(f.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", f)
+	}
+	if !almostEq(f.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v, want 1", f.R2)
+	}
+	if !almostEq(f.Eval(10), 21, 1e-12) {
+		t.Errorf("Eval(10) = %v, want 21", f.Eval(10))
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x should error")
+	}
+}
+
+func TestFitLineConstY(t *testing.T) {
+	f, err := FitLine([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Slope != 0 || f.Intercept != 5 || f.R2 != 1 {
+		t.Errorf("const-y fit = %+v", f)
+	}
+}
+
+func TestFitPower(t *testing.T) {
+	// y = 3 x^1.5
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 1.5)
+	}
+	a, b, r2, err := FitPower(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(a, 3, 1e-9) || !almostEq(b, 1.5, 1e-9) || !almostEq(r2, 1, 1e-9) {
+		t.Errorf("FitPower = %v, %v, %v", a, b, r2)
+	}
+	if _, _, _, err := FitPower([]float64{0, 1}, []float64{1, 1}); err == nil {
+		t.Error("FitPower with nonpositive x should error")
+	}
+}
+
+func TestAmdahlFitRecoversSerialFraction(t *testing.T) {
+	s := 0.15
+	procs := []float64{1, 2, 4, 8, 16, 32}
+	sp := make([]float64, len(procs))
+	for i, p := range procs {
+		sp[i] = 1 / (s + (1-s)/p)
+	}
+	got, err := AmdahlFit(procs, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, s, 1e-9) {
+		t.Errorf("AmdahlFit = %v, want %v", got, s)
+	}
+}
+
+func TestAmdahlFitClamps(t *testing.T) {
+	// Superlinear speedup => negative s, clamped to 0.
+	procs := []float64{1, 2, 4}
+	sp := []float64{1, 2.5, 6}
+	got, err := AmdahlFit(procs, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("superlinear fit = %v, want clamp to 0", got)
+	}
+}
+
+func TestAmdahlFitErrors(t *testing.T) {
+	if _, err := AmdahlFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := AmdahlFit([]float64{1, 1}, []float64{1, 1}); err == nil {
+		t.Error("all p==1 should error (degenerate)")
+	}
+	if _, err := AmdahlFit([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Error("negative procs should error")
+	}
+}
+
+func TestQuantilePropertyWithinRange(t *testing.T) {
+	f := func(raw []uint32, qraw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		q := float64(qraw) / 255
+		got, err := Quantile(xs, q)
+		if err != nil {
+			return false
+		}
+		s, _ := Summarize(xs)
+		return got >= s.Min && got <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		return Variance(xs) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

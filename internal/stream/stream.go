@@ -1,0 +1,260 @@
+// Package stream reimplements the STREAM memory-bandwidth benchmark
+// (McCalpin): the Copy, Scale, Add and Triad kernels over large float64
+// arrays, timed over repeated trials with best-rate reporting and the
+// original validation pass. Threading uses the internal/par team runtime
+// in place of OpenMP, with per-thread first-touch initialization
+// controlled by the caller (experiment F7 ablates it).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/par"
+)
+
+// Kernel identifies one of the four STREAM kernels.
+type Kernel int
+
+const (
+	// Copy: c[i] = a[i]. 16 bytes/iteration, 0 flops.
+	Copy Kernel = iota
+	// Scale: b[i] = q*c[i]. 16 bytes/iteration, 1 flop.
+	Scale
+	// Add: c[i] = a[i] + b[i]. 24 bytes/iteration, 1 flop.
+	Add
+	// Triad: a[i] = b[i] + q*c[i]. 24 bytes/iteration, 2 flops.
+	Triad
+)
+
+// Kernels lists all four in STREAM's canonical order.
+var Kernels = []Kernel{Copy, Scale, Add, Triad}
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	switch k {
+	case Copy:
+		return "Copy"
+	case Scale:
+		return "Scale"
+	case Add:
+		return "Add"
+	case Triad:
+		return "Triad"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// BytesPerElem returns the bytes moved per array element per iteration,
+// exactly as STREAM counts them.
+func (k Kernel) BytesPerElem() int {
+	switch k {
+	case Copy, Scale:
+		return 16
+	default:
+		return 24
+	}
+}
+
+// scalar is STREAM's q.
+const scalar = 3.0
+
+// Config configures a STREAM run.
+type Config struct {
+	// N is the array length in elements; STREAM requires each array to
+	// exceed the last-level cache by ~4x. Default 8 MiB worth (1<<20).
+	N int
+	// NTimes is the number of timed trials per kernel (default 10;
+	// STREAM's minimum for publishable results).
+	NTimes int
+	// Threads is the worker count (default par.DefaultThreads()).
+	Threads int
+	// FirstTouch controls whether arrays are initialized by the same
+	// static partition the kernels use (true, the OpenMP idiom that
+	// spreads pages across NUMA domains) or serially by thread 0.
+	FirstTouch bool
+}
+
+func (c Config) normalize() Config {
+	if c.N <= 0 {
+		c.N = 1 << 20
+	}
+	if c.NTimes <= 0 {
+		c.NTimes = 10
+	}
+	if c.Threads <= 0 {
+		c.Threads = par.DefaultThreads()
+	}
+	return c
+}
+
+// Result holds per-kernel measurements.
+type Result struct {
+	Kernel   Kernel
+	BestRate float64 // bytes/s of the fastest trial
+	AvgTime  float64 // seconds, mean over trials (excluding the first)
+	MinTime  float64
+	MaxTime  float64
+}
+
+// MBps returns the best rate in STREAM's traditional MB/s (1e6 bytes).
+func (r Result) MBps() float64 { return r.BestRate / 1e6 }
+
+// Run executes the four kernels under cfg and returns results in
+// Kernels order, validating the final array contents like STREAM's
+// check pass.
+func Run(cfg Config) ([]Result, error) {
+	cfg = cfg.normalize()
+	n := cfg.N
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+
+	team := par.NewTeam(cfg.Threads)
+	defer team.Close()
+
+	init := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i] = 1
+			b[i] = 2
+			c[i] = 0
+		}
+	}
+	if cfg.FirstTouch {
+		team.ForStatic(n, func(lo, hi, _ int) { init(lo, hi) })
+	} else {
+		init(0, n)
+	}
+
+	run := func(k Kernel) {
+		team.ForStatic(n, func(lo, hi, _ int) {
+			switch k {
+			case Copy:
+				copyKernel(c[lo:hi], a[lo:hi])
+			case Scale:
+				scaleKernel(b[lo:hi], c[lo:hi])
+			case Add:
+				addKernel(c[lo:hi], a[lo:hi], b[lo:hi])
+			case Triad:
+				triadKernel(a[lo:hi], b[lo:hi], c[lo:hi])
+			}
+		})
+	}
+
+	results := make([]Result, 0, len(Kernels))
+	times := make([][]float64, len(Kernels))
+	// STREAM interleaves kernels within each trial so all four see the
+	// same cache/NUMA state progression.
+	for trial := 0; trial < cfg.NTimes+1; trial++ {
+		for ki, k := range Kernels {
+			t0 := time.Now()
+			run(k)
+			dt := time.Since(t0).Seconds()
+			if trial > 0 { // first trial is warmup, as in STREAM
+				times[ki] = append(times[ki], dt)
+			}
+		}
+	}
+	for ki, k := range Kernels {
+		ts := times[ki]
+		minT, maxT, sum := math.Inf(1), 0.0, 0.0
+		for _, t := range ts {
+			if t < minT {
+				minT = t
+			}
+			if t > maxT {
+				maxT = t
+			}
+			sum += t
+		}
+		bytes := float64(k.BytesPerElem()) * float64(n)
+		results = append(results, Result{
+			Kernel:   k,
+			BestRate: bytes / minT,
+			AvgTime:  sum / float64(len(ts)),
+			MinTime:  minT,
+			MaxTime:  maxT,
+		})
+	}
+	if err := validate(a, b, c, n, cfg.NTimes+1); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+func copyKernel(dst, src []float64) {
+	copy(dst, src)
+}
+
+func scaleKernel(dst, src []float64) {
+	for i := range dst {
+		dst[i] = scalar * src[i]
+	}
+}
+
+func addKernel(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+func triadKernel(dst, b, c []float64) {
+	for i := range dst {
+		dst[i] = b[i] + scalar*c[i]
+	}
+}
+
+// validate replays the kernel sequence on scalars and compares against
+// the arrays, as STREAM's checkSTREAMresults does.
+func validate(a, b, c []float64, n, trials int) error {
+	aj, bj, cj := 1.0, 2.0, 0.0
+	for t := 0; t < trials; t++ {
+		cj = aj
+		bj = scalar * cj
+		cj = aj + bj
+		aj = bj + scalar*cj
+	}
+	var aerr, berr, cerr float64
+	for i := 0; i < n; i++ {
+		aerr += math.Abs(a[i] - aj)
+		berr += math.Abs(b[i] - bj)
+		cerr += math.Abs(c[i] - cj)
+	}
+	aerr /= float64(n)
+	berr /= float64(n)
+	cerr /= float64(n)
+	const epsilon = 1e-13
+	if aerr/math.Abs(aj) > epsilon || berr/math.Abs(bj) > epsilon || cerr/math.Abs(cj) > epsilon {
+		return errors.New("stream: validation failed: arrays do not match scalar replay")
+	}
+	return nil
+}
+
+// ModelTriadRate returns the memory bandwidth (bytes/s) a platform model
+// predicts for the Triad kernel at the given thread count under block
+// placement: per-core bandwidth scales until the sockets hosting the
+// threads saturate. The characterization harness plots this curve next
+// to the measured one (experiment F7).
+func ModelTriadRate(threads, coresPerSocket int, perCore, perSocket float64) float64 {
+	if threads <= 0 {
+		return 0
+	}
+	var total float64
+	remaining := threads
+	for remaining > 0 {
+		onThisSocket := remaining
+		if onThisSocket > coresPerSocket {
+			onThisSocket = coresPerSocket
+		}
+		socketBW := float64(onThisSocket) * perCore
+		if socketBW > perSocket {
+			socketBW = perSocket
+		}
+		total += socketBW
+		remaining -= onThisSocket
+	}
+	return total
+}

@@ -1,0 +1,135 @@
+package stream
+
+import (
+	"testing"
+)
+
+func TestRunValidates(t *testing.T) {
+	for _, ft := range []bool{true, false} {
+		res, err := Run(Config{N: 50000, NTimes: 3, Threads: 2, FirstTouch: ft})
+		if err != nil {
+			t.Fatalf("firstTouch=%v: %v", ft, err)
+		}
+		if len(res) != 4 {
+			t.Fatalf("got %d results", len(res))
+		}
+		for _, r := range res {
+			if r.BestRate <= 0 || r.MinTime <= 0 {
+				t.Errorf("%v: non-positive rate/time: %+v", r.Kernel, r)
+			}
+			if r.MinTime > r.MaxTime {
+				t.Errorf("%v: min > max", r.Kernel)
+			}
+			if r.MBps() != r.BestRate/1e6 {
+				t.Errorf("MBps inconsistent")
+			}
+		}
+	}
+}
+
+func TestRunKernelOrder(t *testing.T) {
+	res, err := Run(Config{N: 10000, NTimes: 2, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range Kernels {
+		if res[i].Kernel != k {
+			t.Errorf("result %d kernel %v, want %v", i, res[i].Kernel, k)
+		}
+	}
+}
+
+func TestRunDefaultsApplied(t *testing.T) {
+	cfg := Config{}.normalize()
+	if cfg.N <= 0 || cfg.NTimes <= 0 || cfg.Threads <= 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestKernelMetadata(t *testing.T) {
+	if Copy.BytesPerElem() != 16 || Scale.BytesPerElem() != 16 {
+		t.Error("copy/scale bytes wrong")
+	}
+	if Add.BytesPerElem() != 24 || Triad.BytesPerElem() != 24 {
+		t.Error("add/triad bytes wrong")
+	}
+	names := map[Kernel]string{Copy: "Copy", Scale: "Scale", Add: "Add", Triad: "Triad"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestKernelsAgainstScalars(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	c := make([]float64, 3)
+	copyKernel(c, a)
+	if c[1] != 2 {
+		t.Error("copy wrong")
+	}
+	scaleKernel(c, b)
+	if c[0] != 12 {
+		t.Error("scale wrong")
+	}
+	addKernel(c, a, b)
+	if c[2] != 9 {
+		t.Error("add wrong")
+	}
+	triadKernel(c, a, b)
+	if c[0] != 1+3.0*4 {
+		t.Error("triad wrong")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	n := 100
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	// Correct replay for 1 trial.
+	aj, bj, cj := 1.0, 2.0, 0.0
+	cj = aj
+	bj = scalar * cj
+	cj = aj + bj
+	aj = bj + scalar*cj
+	for i := range a {
+		a[i], b[i], c[i] = aj, bj, cj
+	}
+	if err := validate(a, b, c, n, 1); err != nil {
+		t.Fatalf("correct arrays rejected: %v", err)
+	}
+	a[50] = 1e9
+	if err := validate(a, b, c, n, 1); err == nil {
+		t.Error("corrupted array accepted")
+	}
+}
+
+func TestModelTriadRateShape(t *testing.T) {
+	perCore, perSocket := 3.0, 6.4 // arbitrary units
+	cps := 4
+	r1 := ModelTriadRate(1, cps, perCore, perSocket)
+	r2 := ModelTriadRate(2, cps, perCore, perSocket)
+	r4 := ModelTriadRate(4, cps, perCore, perSocket)
+	r8 := ModelTriadRate(8, cps, perCore, perSocket)
+	if r1 != perCore {
+		t.Errorf("1 thread = %v, want per-core %v", r1, perCore)
+	}
+	if r2 != 6 {
+		t.Errorf("2 threads = %v, want 6", r2)
+	}
+	if r4 != perSocket {
+		t.Errorf("4 threads = %v, want socket cap %v", r4, perSocket)
+	}
+	if r8 != 2*perSocket {
+		t.Errorf("8 threads = %v, want 2 sockets %v", r8, 2*perSocket)
+	}
+	// The knee: scaling 1->2 is linear, 2->4 is sublinear.
+	if (r2 - r1) <= (r4 - r2) {
+		t.Error("no saturation knee in model curve")
+	}
+	if ModelTriadRate(0, cps, perCore, perSocket) != 0 {
+		t.Error("zero threads should give zero")
+	}
+}

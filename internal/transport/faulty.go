@@ -1,0 +1,52 @@
+package transport
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the error produced by a FaultyFabric when its failure
+// schedule triggers.
+var ErrInjected = errors.New("transport: injected fault")
+
+// FaultyFabric wraps another fabric and injects deterministic send
+// failures: the endpoint of FailRank starts failing every Send after it
+// has issued FailAfter packets. The failure-injection tests use it to
+// verify that the runtime surfaces transport errors as job failures
+// instead of hangs or corruption.
+type FaultyFabric struct {
+	Inner interface {
+		Endpoint(int) (Endpoint, error)
+		Close() error
+	}
+	FailRank  int
+	FailAfter int64
+}
+
+// Endpoint returns rank's endpoint, wrapped with the failure schedule
+// if rank == FailRank.
+func (f *FaultyFabric) Endpoint(rank int) (Endpoint, error) {
+	ep, err := f.Inner.Endpoint(rank)
+	if err != nil {
+		return nil, err
+	}
+	if rank != f.FailRank {
+		return ep, nil
+	}
+	return &faultyEP{Endpoint: ep, budget: f.FailAfter}, nil
+}
+
+// Close closes the wrapped fabric.
+func (f *FaultyFabric) Close() error { return f.Inner.Close() }
+
+type faultyEP struct {
+	Endpoint
+	budget int64
+}
+
+func (e *faultyEP) Send(dst int, pkt Packet) error {
+	if atomic.AddInt64(&e.budget, -1) < 0 {
+		return ErrInjected
+	}
+	return e.Endpoint.Send(dst, pkt)
+}

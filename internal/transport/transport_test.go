@@ -1,0 +1,434 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// fabricUnderTest abstracts the three fabrics for shared conformance tests.
+type fabricUnderTest struct {
+	name string
+	mk   func(n int) (interface {
+		Endpoint(int) (Endpoint, error)
+		Close() error
+	}, error)
+}
+
+func fabrics() []fabricUnderTest {
+	return []fabricUnderTest{
+		{"inproc", func(n int) (interface {
+			Endpoint(int) (Endpoint, error)
+			Close() error
+		}, error) {
+			return NewInProc(n)
+		}},
+		{"sim", func(n int) (interface {
+			Endpoint(int) (Endpoint, error)
+			Close() error
+		}, error) {
+			return NewSim(n, cluster.IBCluster())
+		}},
+		{"tcp", func(n int) (interface {
+			Endpoint(int) (Endpoint, error)
+			Close() error
+		}, error) {
+			return NewTCP(n)
+		}},
+	}
+}
+
+func TestFabricBasicDelivery(t *testing.T) {
+	for _, f := range fabrics() {
+		t.Run(f.name, func(t *testing.T) {
+			fab, err := f.mk(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fab.Close()
+			e0, err := fab.Endpoint(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e1, err := fab.Endpoint(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := []byte("hello fabric")
+			if err := e0.Send(1, Packet{Type: Data, Tag: 7, Seq: 3, Data: payload}); err != nil {
+				t.Fatal(err)
+			}
+			pkt, ok, err := e1.Recv(true)
+			if err != nil || !ok {
+				t.Fatalf("recv: ok=%v err=%v", ok, err)
+			}
+			if pkt.Type != Data || pkt.Src != 0 || pkt.Tag != 7 || pkt.Seq != 3 {
+				t.Errorf("header mismatch: %+v", pkt)
+			}
+			if !bytes.Equal(pkt.Data, payload) {
+				t.Errorf("payload = %q", pkt.Data)
+			}
+		})
+	}
+}
+
+func TestFabricSenderBufferReuse(t *testing.T) {
+	// After Send returns, mutating the sender's buffer must not corrupt
+	// the delivered packet.
+	for _, f := range fabrics() {
+		t.Run(f.name, func(t *testing.T) {
+			fab, err := f.mk(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fab.Close()
+			e0, _ := fab.Endpoint(0)
+			e1, _ := fab.Endpoint(1)
+			buf := []byte{1, 2, 3, 4}
+			if err := e0.Send(1, Packet{Type: Data, Data: buf}); err != nil {
+				t.Fatal(err)
+			}
+			buf[0] = 99
+			pkt, ok, _ := e1.Recv(true)
+			if !ok {
+				t.Fatal("no packet")
+			}
+			if pkt.Data[0] != 1 {
+				t.Error("payload aliased the sender's buffer")
+			}
+		})
+	}
+}
+
+func TestFabricOrderingPerPair(t *testing.T) {
+	// FIFO per (src,dst) must hold on every fabric.
+	for _, f := range fabrics() {
+		t.Run(f.name, func(t *testing.T) {
+			fab, err := f.mk(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fab.Close()
+			e0, _ := fab.Endpoint(0)
+			e1, _ := fab.Endpoint(1)
+			const n = 500
+			for i := 0; i < n; i++ {
+				if err := e0.Send(1, Packet{Type: Data, Seq: uint64(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < n; i++ {
+				pkt, ok, _ := e1.Recv(true)
+				if !ok {
+					t.Fatal("closed early")
+				}
+				if pkt.Seq != uint64(i) {
+					t.Fatalf("out of order: got seq %d at position %d", pkt.Seq, i)
+				}
+			}
+		})
+	}
+}
+
+func TestFabricManyToOne(t *testing.T) {
+	for _, f := range fabrics() {
+		t.Run(f.name, func(t *testing.T) {
+			const senders = 7
+			const per = 100
+			fab, err := f.mk(senders + 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fab.Close()
+			var wg sync.WaitGroup
+			for s := 1; s <= senders; s++ {
+				ep, err := fab.Endpoint(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(ep Endpoint, s int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						data := []byte(fmt.Sprintf("%d:%d", s, i))
+						if err := ep.Send(0, Packet{Type: Data, Tag: s, Seq: uint64(i), Data: data}); err != nil {
+							t.Errorf("send: %v", err)
+							return
+						}
+					}
+				}(ep, s)
+			}
+			e0, _ := fab.Endpoint(0)
+			perSrcNext := make([]uint64, senders+1)
+			for got := 0; got < senders*per; got++ {
+				pkt, ok, _ := e0.Recv(true)
+				if !ok {
+					t.Fatal("closed early")
+				}
+				if pkt.Seq != perSrcNext[pkt.Src] {
+					t.Fatalf("src %d: seq %d, want %d", pkt.Src, pkt.Seq, perSrcNext[pkt.Src])
+				}
+				perSrcNext[pkt.Src]++
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestFabricBadRank(t *testing.T) {
+	for _, f := range fabrics() {
+		t.Run(f.name, func(t *testing.T) {
+			fab, err := f.mk(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fab.Close()
+			e0, _ := fab.Endpoint(0)
+			if err := e0.Send(5, Packet{}); err != ErrBadRank {
+				t.Errorf("send to bad rank: %v", err)
+			}
+			if err := e0.Send(-1, Packet{}); err != ErrBadRank {
+				t.Errorf("send to negative rank: %v", err)
+			}
+			if _, err := fab.Endpoint(99); err != ErrBadRank {
+				t.Errorf("Endpoint(99): %v", err)
+			}
+		})
+	}
+}
+
+func TestFabricNonBlockingRecv(t *testing.T) {
+	for _, f := range fabrics() {
+		t.Run(f.name, func(t *testing.T) {
+			fab, err := f.mk(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fab.Close()
+			e0, _ := fab.Endpoint(0)
+			if _, ok, _ := e0.Recv(false); ok {
+				t.Error("non-blocking recv on empty mailbox returned a packet")
+			}
+		})
+	}
+}
+
+func TestFabricCloseUnblocksRecv(t *testing.T) {
+	for _, f := range fabrics() {
+		t.Run(f.name, func(t *testing.T) {
+			fab, err := f.mk(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e0, _ := fab.Endpoint(0)
+			done := make(chan bool)
+			go func() {
+				_, ok, _ := e0.Recv(true)
+				done <- ok
+			}()
+			fab.Close()
+			if ok := <-done; ok {
+				t.Error("recv returned a packet after close")
+			}
+		})
+	}
+}
+
+func TestSimClockAdvancesOnSend(t *testing.T) {
+	fab, err := NewSim(2, cluster.IBCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close()
+	e0, _ := fab.Endpoint(0)
+	before := e0.Now()
+	if before != 0 {
+		t.Fatalf("initial clock = %v", before)
+	}
+	if err := e0.Send(1, Packet{Type: Data, Data: make([]byte, 1000)}); err != nil {
+		t.Fatal(err)
+	}
+	if e0.Now() <= before {
+		t.Error("sender clock did not advance")
+	}
+}
+
+func TestSimArrivalIncludesLatency(t *testing.T) {
+	m := cluster.IBCluster()
+	n := m.Topo.TotalCores()
+	fab, err := NewSim(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close()
+	// Rank 0 -> last rank is inter-node under block placement.
+	e0, _ := fab.Endpoint(0)
+	eN, _ := fab.Endpoint(n - 1)
+	if err := e0.Send(n-1, Packet{Type: Data, Data: make([]byte, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	pkt, ok, _ := eN.Recv(true)
+	if !ok {
+		t.Fatal("no packet")
+	}
+	lp, _, _ := m.PathBetween(0, n-1, n)
+	if pkt.Arrival < lp.L {
+		t.Errorf("arrival %v below wire latency %v", pkt.Arrival, lp.L)
+	}
+	// Eager Data carries the path overhead plus the bounce-buffer copy.
+	if pkt.RecvO < lp.O {
+		t.Errorf("RecvO = %v, want >= %v", pkt.RecvO, lp.O)
+	}
+}
+
+func TestSimIntraVsInterNodeArrival(t *testing.T) {
+	m := cluster.IBCluster()
+	n := m.Topo.TotalCores()
+	fab, _ := NewSim(n, m)
+	defer fab.Close()
+	e0, _ := fab.Endpoint(0)
+	e1, _ := fab.Endpoint(1)
+	eN, _ := fab.Endpoint(n - 1)
+
+	if err := e0.Send(1, Packet{Type: Data, Data: make([]byte, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	intra, _, _ := e1.Recv(true)
+	// Reset-ish: clock0 advanced a little; send inter-node next.
+	if err := e0.Send(n-1, Packet{Type: Data, Data: make([]byte, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	inter, _, _ := eN.Recv(true)
+	if inter.Arrival <= intra.Arrival {
+		t.Errorf("inter-node arrival %v not after intra-node %v", inter.Arrival, intra.Arrival)
+	}
+}
+
+func TestSimNICContentionSerializes(t *testing.T) {
+	// Two back-to-back inter-node sends from the same node must have
+	// arrivals separated by at least the occupancy of one message.
+	m := cluster.IBCluster()
+	n := m.Topo.TotalCores()
+	fab, _ := NewSim(n, m)
+	defer fab.Close()
+	e0, _ := fab.Endpoint(0)
+	eN, _ := fab.Endpoint(n - 1)
+	const size = 100000
+	e0.Send(n-1, Packet{Type: Data, Seq: 1, Data: make([]byte, size)})
+	e0.Send(n-1, Packet{Type: Data, Seq: 2, Data: make([]byte, size)})
+	p1, _, _ := eN.Recv(true)
+	p2, _, _ := eN.Recv(true)
+	lp, _, _ := m.PathBetween(0, n-1, n)
+	gap := p2.Arrival - p1.Arrival
+	if gap < float64(size)*lp.GB*0.99 {
+		t.Errorf("NIC gap %v below single-message occupancy %v", gap, float64(size)*lp.GB)
+	}
+}
+
+func TestSimAdvanceToAndAddDelay(t *testing.T) {
+	fab, _ := NewSim(2, cluster.IBCluster())
+	defer fab.Close()
+	e0, _ := fab.Endpoint(0)
+	e0.AdvanceTo(5)
+	if e0.Now() != 5 {
+		t.Errorf("AdvanceTo: now = %v", e0.Now())
+	}
+	e0.AdvanceTo(3) // backwards: no-op
+	if e0.Now() != 5 {
+		t.Errorf("AdvanceTo went backwards: %v", e0.Now())
+	}
+	e0.AddDelay(2)
+	if e0.Now() != 7 {
+		t.Errorf("AddDelay: now = %v", e0.Now())
+	}
+	e0.AddDelay(-1) // negative: no-op
+	if e0.Now() != 7 {
+		t.Errorf("negative AddDelay applied: %v", e0.Now())
+	}
+}
+
+func TestSimRejectsBadConfig(t *testing.T) {
+	if _, err := NewSim(2, nil); err == nil {
+		t.Error("nil model accepted")
+	}
+	m := cluster.IBCluster()
+	if _, err := NewSim(m.Topo.TotalCores()+1, m); err == nil {
+		t.Error("overcommit accepted")
+	}
+	if _, err := NewSim(0, m); err == nil {
+		t.Error("zero ranks accepted")
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	fab, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close()
+	e0, _ := fab.Endpoint(0)
+	e1, _ := fab.Endpoint(1)
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if err := e0.Send(1, Packet{Type: RndvData, Seq: 9, Data: payload}); err != nil {
+		t.Fatal(err)
+	}
+	pkt, ok, _ := e1.Recv(true)
+	if !ok {
+		t.Fatal("no packet")
+	}
+	if !bytes.Equal(pkt.Data, payload) {
+		t.Error("1 MiB payload corrupted over TCP")
+	}
+}
+
+func TestTCPNegativeTag(t *testing.T) {
+	// Internal collective tags are negative and must round-trip the
+	// wire encoding.
+	fab, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close()
+	e0, _ := fab.Endpoint(0)
+	e1, _ := fab.Endpoint(1)
+	if err := e0.Send(1, Packet{Type: Data, Tag: -1048576}); err != nil {
+		t.Fatal(err)
+	}
+	pkt, ok, _ := e1.Recv(true)
+	if !ok || pkt.Tag != -1048576 {
+		t.Errorf("negative tag round-trip: ok=%v tag=%d", ok, pkt.Tag)
+	}
+}
+
+func TestPacketTypeString(t *testing.T) {
+	for ty, want := range map[PacketType]string{Data: "DATA", RTS: "RTS", CTS: "CTS", RndvData: "RNDV", 99: "?"} {
+		if ty.String() != want {
+			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), want)
+		}
+	}
+}
+
+func TestMailboxCompaction(t *testing.T) {
+	m := newMailbox()
+	// Interleave puts and gets past the compaction threshold.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 100; i++ {
+			m.put(Packet{Seq: uint64(round*100 + i)})
+		}
+		for i := 0; i < 100; i++ {
+			p, ok := m.get(true)
+			if !ok || p.Seq != uint64(round*100+i) {
+				t.Fatalf("round %d i %d: ok=%v seq=%d", round, i, ok, p.Seq)
+			}
+		}
+	}
+	if len(m.queue) > 200 {
+		t.Errorf("queue did not compact: len=%d", len(m.queue))
+	}
+}
