@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hpcc"
 	"repro/internal/linalg"
+	"repro/internal/mem"
 	"repro/internal/mp"
 	"repro/internal/stream"
 )
@@ -56,6 +57,11 @@ func BenchmarkF13LogGPFit(b *testing.B)        { benchExperiment(b, "F13") }
 func BenchmarkF14Placement(b *testing.B)       { benchExperiment(b, "F14") }
 func BenchmarkF15AppKernels(b *testing.B)      { benchExperiment(b, "F15") }
 func BenchmarkF16HPLBlockSize(b *testing.B)    { benchExperiment(b, "F16") }
+
+func BenchmarkM1LatencyLadder(b *testing.B) { benchExperiment(b, "M1") }
+func BenchmarkM2TLBStress(b *testing.B)     { benchExperiment(b, "M2") }
+func BenchmarkM3PageSizeTable(b *testing.B) { benchExperiment(b, "M3") }
+func BenchmarkM4HierarchyFit(b *testing.B)  { benchExperiment(b, "M4") }
 
 // --- substrate micro-benchmarks ---
 
@@ -175,6 +181,20 @@ func BenchmarkStreamTriad(b *testing.B) {
 		if _, err := stream.Run(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPointerChase measures the raw dependent-load latency kernel
+// at an in-cache and an out-of-cache working set.
+func BenchmarkPointerChase(b *testing.B) {
+	for _, size := range []int{32 << 10, 8 << 20} {
+		b.Run(fmt.Sprintf("ws=%d", size), func(b *testing.B) {
+			res, err := mem.Chase(mem.ChaseConfig{Bytes: size, Iters: b.N, Trials: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Seconds*1e9, "ns/access")
+		})
 	}
 }
 

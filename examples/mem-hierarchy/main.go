@@ -1,0 +1,102 @@
+// Memory-hierarchy walkthrough: the internal/mem subsystem end to end.
+//
+// Step 1 takes a platform preset's analytic memory model and prints what
+// it claims: cache levels, TLB reach in both mapping modes, and the
+// modeled latency ladder. Step 2 hands that ladder to the perfmodel
+// knee-point fit and prints recovered-vs-true levels — the loop that
+// experiment M4 runs for every platform. Step 3 measures a small
+// pointer-chase ladder on the real host and fits it the same way, which
+// is what cmd/membench does at full scale.
+//
+//	go run ./examples/mem-hierarchy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/mem"
+	"repro/internal/perfmodel"
+	"repro/internal/report"
+)
+
+func main() {
+	// --- Step 1: what the model claims -------------------------------
+	platform := cluster.BGPRack()
+	m := platform.Mem
+	fmt.Printf("platform %s: %d cache levels, %s base pages, %s large pages\n",
+		platform.Name, len(m.Levels), kib(m.PageBytes), kib(m.LargePageBytes))
+	fmt.Printf("TLB: %d entries -> reach %s paged, %s big-memory\n\n",
+		m.TLB.Entries,
+		kib(m.WithMode(mem.Paged).TLBReach()),
+		kib(m.WithMode(mem.BigMemory).TLBReach()))
+
+	// The same working set costs very different latency in the two
+	// modes once it outruns the paged TLB reach — the study's point.
+	t := report.NewTable("Modeled latency by mapping mode",
+		"working set", "paged (ns)", "bigmem (ns)", "paged/bigmem")
+	for _, ws := range []int{64 << 10, 1 << 20, 64 << 20} {
+		paged := m.WithMode(mem.Paged).LoadLatency(ws)
+		big := m.WithMode(mem.BigMemory).LoadLatency(ws)
+		t.AddRow(kib(ws), paged*1e9, big*1e9, paged/big)
+	}
+	check(t.Fprint(os.Stdout))
+
+	// --- Step 2: recover the hierarchy from the model's own ladder ---
+	big := m.WithMode(mem.BigMemory) // clean cache knees: TLB reach covers the sweep
+	ladder := big.Ladder(4<<10, 64<<20, 4)
+	fit, err := perfmodel.FitHierarchy(ladder, 3)
+	check(err)
+	fmt.Println()
+	ft := report.NewTable("Knee-point fit vs configured truth",
+		"level", "true capacity", "fitted capacity", "true ns", "fitted ns")
+	for i, truth := range big.Levels {
+		if i >= len(fit.Levels) {
+			break
+		}
+		f := fit.Levels[i]
+		ft.AddRow(truth.Name, kib(truth.Capacity), kib(f.Capacity),
+			truth.Latency*1e9, f.Latency*1e9)
+	}
+	ft.AddRow("memory", "-", "-", big.MemLatency*1e9, fit.MemLatency*1e9)
+	check(ft.Fprint(os.Stdout))
+	fmt.Printf("fit R2 = %.4f\n\n", fit.R2)
+
+	// --- Step 3: the same probe against the real host ----------------
+	samples, err := mem.Ladder(mem.LadderConfig{
+		MinBytes: 4 << 10, MaxBytes: 4 << 20,
+		PointsPerOctave: 2, Iters: 1 << 16, Trials: 2,
+	})
+	check(err)
+	host, err := perfmodel.FitHierarchy(samples, 3)
+	check(err)
+	ht := report.NewTable("Host hierarchy (measured pointer-chase fit)",
+		"level", "capacity", "latency (ns)")
+	for i, l := range host.Levels {
+		ht.AddRow(fmt.Sprintf("L%d", i+1), kib(l.Capacity), l.Latency*1e9)
+	}
+	ht.AddRow("memory", "-", host.MemLatency*1e9)
+	check(ht.Fprint(os.Stdout))
+}
+
+// kib renders a byte count compactly in binary units.
+func kib(b int) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.4gGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.4gMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.4gKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/mem"
 )
 
 // LogGP holds the parameters of the LogGP point-to-point cost model
@@ -105,6 +107,11 @@ type Model struct {
 	// FlopsPerCore is the per-core peak in FLOP/s, used for HPL
 	// roofline comparisons in the report.
 	FlopsPerCore float64
+
+	// Mem is the analytic memory-hierarchy model of one node: cache
+	// levels, TLB reach, and page-size mode. It answers the latency
+	// probes of internal/mem just as Links answers the network probes.
+	Mem *mem.Model
 }
 
 // Validate checks the whole model.
@@ -120,6 +127,11 @@ func (m *Model) Validate() error {
 	}
 	if m.MemBWPerSocket <= 0 || m.MemBWPerCore <= 0 || m.FlopsPerCore <= 0 {
 		return fmt.Errorf("cluster: non-positive memory/compute parameters in %q", m.Name)
+	}
+	if m.Mem != nil {
+		if err := m.Mem.Validate(); err != nil {
+			return fmt.Errorf("cluster: model %q: %w", m.Name, err)
+		}
 	}
 	return nil
 }

@@ -1,5 +1,7 @@
 package cluster
 
+import "repro/internal/mem"
+
 // Preset platform models. The two fabrics bracket the era of the study:
 // a gigabit-Ethernet commodity cluster and a DDR-InfiniBand cluster, both
 // with dual-socket quad-core nodes (the canonical 2009 building block).
@@ -39,6 +41,50 @@ func sharedMemLinks() (self, intraSocket, intraNode LogGP) {
 	return
 }
 
+// xeonMem returns the memory-hierarchy model shared by the commodity
+// (Harpertown-class Xeon) presets: 32 KiB L1 and a large shared L2, a
+// 256-entry DTLB with 4 KiB base pages, and hugepage support. The
+// default mode is demand-paged — the common Linux configuration the
+// study contrasts with big memory.
+func xeonMem() *mem.Model {
+	return &mem.Model{
+		Name: "xeon-harpertown",
+		Levels: []mem.Level{
+			{Name: "L1", Capacity: 32 << 10, Latency: 1.3 * ns},
+			{Name: "L2", Capacity: 6 << 20, Latency: 6.4 * ns},
+		},
+		MemLatency:     95 * ns,
+		TLB:            mem.TLB{Entries: 256, MissCost: 20 * ns},
+		PageBytes:      4 << 10,
+		LargePageBytes: 2 << 20,
+		PageFaultCost:  1.5e-6,
+		Mode:           mem.Paged,
+	}
+}
+
+// bgpMem returns the memory-hierarchy model of a Blue Gene/P-class
+// compute node, the platform whose "big memory" behaviour the source
+// study characterizes: a small software-visible TLB (64 entries on the
+// PPC450) whose reach under 4 KiB demand paging is a mere 256 KiB, so a
+// statically mapped large-page ("big memory") address space — mode
+// BigMemory, the compute-node-kernel configuration — is the difference
+// between cache-bound and walk-bound latency.
+func bgpMem() *mem.Model {
+	return &mem.Model{
+		Name: "bgp-ppc450",
+		Levels: []mem.Level{
+			{Name: "L1", Capacity: 32 << 10, Latency: 4.7 * ns},
+			{Name: "L3", Capacity: 8 << 20, Latency: 42 * ns},
+		},
+		MemLatency:     120 * ns,
+		TLB:            mem.TLB{Entries: 64, MissCost: 300 * ns},
+		PageBytes:      4 << 10,
+		LargePageBytes: 256 << 20, // PPC4xx supports up to 256 MiB entries
+		PageFaultCost:  4e-6,
+		Mode:           mem.BigMemory,
+	}
+}
+
 // GigECluster returns a model of an 8-node dual-socket quad-core cluster
 // on gigabit Ethernet.
 func GigECluster() *Model {
@@ -56,6 +102,7 @@ func GigECluster() *Model {
 		MemBWPerSocket: 6.4 * gib,
 		MemBWPerCore:   3.0 * gib,
 		FlopsPerCore:   9.3e9, // 2.33 GHz x 4 flops/cycle
+		Mem:            xeonMem(),
 	}
 }
 
@@ -76,6 +123,7 @@ func IBCluster() *Model {
 		MemBWPerSocket: 6.4 * gib,
 		MemBWPerCore:   3.0 * gib,
 		FlopsPerCore:   9.3e9,
+		Mem:            xeonMem(),
 	}
 }
 
@@ -96,6 +144,7 @@ func SMPNode() *Model {
 		MemBWPerSocket: 6.4 * gib,
 		MemBWPerCore:   3.0 * gib,
 		FlopsPerCore:   9.3e9,
+		Mem:            xeonMem(),
 	}
 }
 
@@ -108,10 +157,34 @@ func BigIBCluster() *Model {
 	return m
 }
 
+// BGPRack returns a Blue Gene/P-class model: many small quad-core nodes
+// on a torus-like fabric, with the big-memory hierarchy the source study
+// characterizes. The fabric numbers are representative of the BG/P tree
+// and torus networks, not a faithful topology model; the memory
+// subsystem is the point of this preset.
+func BGPRack() *Model {
+	self, isock, inode := sharedMemLinks()
+	return &Model{
+		Name: "bgp-64n",
+		Topo: Topology{Nodes: 64, SocketsPerNode: 1, CoresPerSocket: 4},
+		Links: Links{
+			Self:        self,
+			IntraSocket: isock,
+			IntraNode:   inode,
+			InterNode:   LogGP{L: 2.5 * us, O: 0.5 * us, G: 0.5 * us, GB: 1 / (375e6)},
+		},
+		Placement:      Block,
+		MemBWPerSocket: 12.8 * gib,
+		MemBWPerCore:   4.0 * gib,
+		FlopsPerCore:   3.4e9, // 850 MHz x 4 flops/cycle
+		Mem:            bgpMem(),
+	}
+}
+
 // Presets returns all built-in platform models keyed by name.
 func Presets() map[string]*Model {
 	out := map[string]*Model{}
-	for _, m := range []*Model{GigECluster(), IBCluster(), SMPNode(), BigIBCluster()} {
+	for _, m := range []*Model{GigECluster(), IBCluster(), SMPNode(), BigIBCluster(), BGPRack()} {
 		out[m.Name] = m
 	}
 	return out

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestPresetsSelfConsistent asserts every built-in platform model is
+// usable as-is: positive topology and LogGP parameters, a finite
+// bandwidth on every link class, and a valid attached memory-hierarchy
+// model.
+func TestPresetsSelfConsistent(t *testing.T) {
+	presets := Presets()
+	if len(presets) == 0 {
+		t.Fatal("no presets")
+	}
+	for name, m := range presets {
+		if m.Name != name {
+			t.Errorf("preset keyed %q has Name %q", name, m.Name)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", name, err)
+			continue
+		}
+		if m.Topo.Nodes <= 0 || m.Topo.TotalCores() <= 0 {
+			t.Errorf("preset %s has empty topology %v", name, m.Topo)
+		}
+		for _, pc := range []PathClass{Self, IntraSocket, IntraNode, InterNode} {
+			lp := m.Links.For(pc)
+			if lp.L < 0 || lp.O < 0 || lp.G < 0 || lp.GB < 0 {
+				t.Errorf("preset %s %v has negative LogGP parameter %+v", name, pc, lp)
+			}
+			if pc != Self && lp.Bandwidth() <= 0 {
+				t.Errorf("preset %s %v has non-positive bandwidth", name, pc)
+			}
+		}
+		if m.Mem == nil {
+			t.Errorf("preset %s has no memory-hierarchy model", name)
+			continue
+		}
+		if err := m.Mem.Validate(); err != nil {
+			t.Errorf("preset %s memory model invalid: %v", name, err)
+		}
+		if m.Mem.TLBReach() <= 0 {
+			t.Errorf("preset %s has non-positive TLB reach", name)
+		}
+		// A hierarchy makes physical sense only if memory sits beyond
+		// the last cache level and big memory extends TLB reach.
+		last := m.Mem.Levels[len(m.Mem.Levels)-1]
+		if m.Mem.MemLatency <= last.Latency {
+			t.Errorf("preset %s: memory latency not above %s", name, last.Name)
+		}
+		pagedReach := m.Mem.WithMode(mem.Paged).TLBReach()
+		bigReach := m.Mem.WithMode(mem.BigMemory).TLBReach()
+		if bigReach <= pagedReach {
+			t.Errorf("preset %s: big-memory reach %d not above paged reach %d", name, bigReach, pagedReach)
+		}
+	}
+}

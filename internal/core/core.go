@@ -1,8 +1,11 @@
 // Package core is the characterization harness — the study's primary
 // deliverable. It defines the reconstructed evaluation as a registry of
-// experiments (tables T1-T4 and figures F1-F16, see DESIGN.md), each of
-// which drives the benchmark suites over the modeled platforms and
-// renders its table or figure data to a writer. cmd/charhpc runs the
+// experiments, each of which drives the benchmark suites over the
+// modeled platforms and renders its table or figure data to a writer.
+// Three families are registered: the tables T1-T4, the communication
+// and application figures F1-F16 (see DESIGN.md), and the
+// memory-hierarchy family M1-M4 (latency ladder, TLB stress, page-size
+// comparison, fitted-vs-truth; see internal/mem). cmd/charhpc runs the
 // whole registry; bench_test.go exposes one bench target per experiment.
 package core
 
@@ -60,8 +63,10 @@ func Get(id string) (Experiment, bool) {
 	return e, ok
 }
 
-// All returns every registered experiment, tables first, each group in
-// ID order.
+// All returns every registered experiment in a stable order: tables
+// first, then figures, each group sorted by ID with the family letters
+// alphabetical and the numeric suffix numeric ("F2" before "F10",
+// "F16" before "M1").
 func All() []Experiment {
 	out := make([]Experiment, 0, len(registry))
 	for _, e := range registry {
@@ -76,15 +81,29 @@ func All() []Experiment {
 	return out
 }
 
-// idLess orders "F2" before "F10".
+// idLess orders experiment IDs by (letter prefix, numeric suffix), so
+// mixed families collate deterministically: F2 < F10 < M1 < T4.
 func idLess(a, b string) bool {
-	if a[0] != b[0] {
-		return a[0] < b[0]
+	pa, na := splitID(a)
+	pb, nb := splitID(b)
+	if pa != pb {
+		return pa < pb
 	}
-	var na, nb int
-	fmt.Sscanf(a[1:], "%d", &na)
-	fmt.Sscanf(b[1:], "%d", &nb)
-	return na < nb
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+// splitID splits an ID like "F13" into its letter prefix and number.
+func splitID(id string) (string, int) {
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	var n int
+	fmt.Sscanf(id[i:], "%d", &n)
+	return id[:i], n
 }
 
 // RunAll executes every experiment against w, stopping at the first

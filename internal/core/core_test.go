@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -12,6 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"T1", "T2", "T3", "T4",
 		"F1", "F2", "F3", "F4", "F5", "F6", "F7",
 		"F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16",
+		"M1", "M2", "M3", "M4",
 	}
 	for _, id := range want {
 		e, ok := Get(id)
@@ -42,13 +44,27 @@ func TestAllOrdering(t *testing.T) {
 			t.Fatalf("table %s after a figure", e.ID)
 		}
 	}
-	// F2 before F10.
+	// F2 before F10; families collate alphabetically within a kind.
 	pos := map[string]int{}
 	for i, e := range all {
 		pos[e.ID] = i
 	}
 	if pos["F2"] > pos["F10"] {
 		t.Error("numeric ID ordering broken: F2 after F10")
+	}
+	if pos["F16"] > pos["M1"] {
+		t.Error("mixed-family ordering broken: F16 after M1")
+	}
+	if pos["M3"] > pos["M4"] {
+		t.Error("M-family ordering broken: M3 after M4")
+	}
+	// M3/M4 are tables and so sort with the table group, before every
+	// figure, and alphabetically before the T family.
+	if pos["M4"] > pos["T1"] {
+		t.Error("table-group ordering broken: M4 after T1")
+	}
+	if pos["M3"] > pos["F1"] {
+		t.Error("kind ordering broken: table M3 after figure F1")
 	}
 }
 
@@ -187,5 +203,117 @@ func TestF15ApplicationKernels(t *testing.T) {
 		if !strings.Contains(out, k) {
 			t.Errorf("F15 missing kernel %s", k)
 		}
+	}
+}
+
+// TestRegistrySmoke runs every registered experiment — whichever
+// exp_*.go it lives in — at Quick scale and asserts it succeeds with
+// non-empty output, so a broken experiment wiring fails even without a
+// dedicated shape test.
+func TestRegistrySmoke(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var b bytes.Buffer
+			if err := e.Run(&b, Quick); err != nil {
+				t.Fatalf("experiment %s failed: %v", e.ID, err)
+			}
+			if b.Len() == 0 {
+				t.Fatalf("experiment %s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestM1LadderSeries(t *testing.T) {
+	out := runExp(t, "M1")
+	for _, series := range []string{"measured/host", "model/smp-1n", "model/bgp-64n"} {
+		if !strings.Contains(out, series) {
+			t.Errorf("M1 missing series %s", series)
+		}
+	}
+}
+
+func TestM2TLBSeries(t *testing.T) {
+	out := runExp(t, "M2")
+	for _, series := range []string{
+		"measured/host-4KiB-pages",
+		"model/smp-1n/paged", "model/smp-1n/bigmem",
+		"model/bgp-64n/paged", "model/bgp-64n/bigmem",
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("M2 missing series %s", series)
+		}
+	}
+}
+
+func TestM3BigMemoryWins(t *testing.T) {
+	out := runExp(t, "M3")
+	for _, want := range []string{"paged", "bigmem", "TLB reach", "first-touch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("M3 missing %q", want)
+		}
+	}
+	// Past paged TLB reach, the paged rows must show a slowdown > 1
+	// while the bigmem rows stay at 1. Columns: platform mode page
+	// reach ws latency slowdown first-touch.
+	pagedRows := 0
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) != 8 || f[0] != "bgp-64n" {
+			continue
+		}
+		slowdown, err := strconv.ParseFloat(f[6], 64)
+		if err != nil {
+			t.Errorf("M3 unparsable slowdown in %q", line)
+			continue
+		}
+		switch f[1] {
+		case "paged":
+			pagedRows++
+			// Every tabulated working set exceeds the 256 KiB paged
+			// reach of the BG/P node, so the walk penalty must show.
+			if slowdown <= 1 {
+				t.Errorf("M3 bgp-64n paged ws=%s slowdown = %v, want > 1", f[4], slowdown)
+			}
+		case "bigmem":
+			if slowdown != 1 {
+				t.Errorf("M3 bgp-64n bigmem ws=%s slowdown = %v, want 1", f[4], slowdown)
+			}
+		}
+	}
+	if pagedRows != 3 {
+		t.Errorf("M3 has %d bgp-64n paged rows, want 3: %s", pagedRows, out)
+	}
+}
+
+// TestM4FitRecovery is the acceptance gate for the hierarchy fit: on
+// every modeled platform the fit must recover each configured level's
+// capacity and latency within 25%.
+func TestM4FitRecovery(t *testing.T) {
+	out := runExp(t, "M4")
+	lines := strings.Split(out, "\n")
+	levelRows := 0
+	for _, line := range lines {
+		f := strings.Fields(line)
+		if len(f) < 9 || (f[1] != "L1" && f[1] != "L2" && f[1] != "L3") {
+			continue
+		}
+		levelRows++
+		capErr, err1 := strconv.ParseFloat(f[4], 64)
+		latErr, err2 := strconv.ParseFloat(f[7], 64)
+		if err1 != nil || err2 != nil {
+			t.Errorf("M4 unparsable row %q", line)
+			continue
+		}
+		if capErr > 25 {
+			t.Errorf("M4 %s/%s capacity error %.1f%% > 25%%", f[0], f[1], capErr)
+		}
+		if latErr > 25 {
+			t.Errorf("M4 %s/%s latency error %.1f%% > 25%%", f[0], f[1], latErr)
+		}
+	}
+	if levelRows < 4 {
+		t.Errorf("M4 has %d level rows, want >= 4: %s", levelRows, out)
 	}
 }

@@ -1,0 +1,169 @@
+package core
+
+// The M-family: memory-hierarchy characterization, the latency-bound
+// complement to the bandwidth-bound STREAM experiments. M1 and M2 are
+// the ladder and TLB figures, M3 is the page-size / big-memory
+// comparison table, and M4 closes the loop by fitting the analytic
+// model's own ladder and reporting recovery error, mirroring the F13
+// fitted-vs-truth pattern for LogGP.
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/mem"
+	"repro/internal/perfmodel"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{ID: "M1", Kind: "figure", Run: runM1,
+		Title: "Pointer-chase latency ladder vs working set (measured + model)"})
+	register(Experiment{ID: "M2", Kind: "figure", Run: runM2,
+		Title: "TLB stress: latency vs pages touched (measured + model modes)"})
+	register(Experiment{ID: "M3", Kind: "table", Run: runM3,
+		Title: "Page-size / big-memory comparison (modeled latency and reach)"})
+	register(Experiment{ID: "M4", Kind: "table", Run: runM4,
+		Title: "Memory model fitted-vs-truth (hierarchy recovery from ladders)"})
+}
+
+// memPlatforms returns the presets the M experiments model: the
+// commodity SMP node and the big-memory (BG/P-class) node.
+func memPlatforms() []*cluster.Model {
+	return []*cluster.Model{cluster.SMPNode(), cluster.BGPRack()}
+}
+
+// runM1 renders the latency ladder: a measured pointer-chase sweep on
+// the host plus each modeled platform's analytic ladder.
+func runM1(w io.Writer, s Scale) error {
+	fig := report.NewFigure("Pointer-chase latency ladder", "working set (bytes)", "ns/access")
+
+	cfg := mem.LadderConfig{MinBytes: 4 << 10, MaxBytes: 2 << 20,
+		PointsPerOctave: 2, Iters: 1 << 14, Trials: 1}
+	if s == Full {
+		cfg = mem.LadderConfig{MinBytes: 4 << 10, MaxBytes: 256 << 20,
+			PointsPerOctave: 4, Iters: 1 << 20, Trials: 3}
+	}
+	measured, err := mem.Ladder(cfg)
+	if err != nil {
+		return err
+	}
+	ms := fig.AddSeries("measured/host")
+	for _, p := range measured {
+		ms.Add(float64(p.Bytes), p.Seconds*1e9)
+	}
+
+	for _, m := range memPlatforms() {
+		maxBytes := 4 * m.Mem.Levels[len(m.Mem.Levels)-1].Capacity
+		series := fig.AddSeries("model/" + m.Name)
+		for _, p := range m.Mem.Ladder(4<<10, maxBytes, 4) {
+			series.Add(float64(p.Bytes), p.Seconds*1e9)
+		}
+	}
+	return fig.Fprint(w)
+}
+
+// runM2 renders the TLB figure: measured one-line-per-page latency on
+// the host, and each platform model evaluated in both mapping modes so
+// the paged-mode walk penalty past TLB reach is visible against the
+// big-memory curve.
+func runM2(w io.Writer, s Scale) error {
+	fig := report.NewFigure("TLB stress latency", "working set (bytes)", "ns/access")
+
+	cfg := mem.TLBConfig{MinPages: 16, MaxPages: 1 << 11, PointsPerOctave: 2,
+		Iters: 1 << 13, Trials: 1}
+	if s == Full {
+		cfg = mem.TLBConfig{MinPages: 16, MaxPages: 1 << 16, PointsPerOctave: 4,
+			Iters: 1 << 19, Trials: 3}
+	}
+	measured, err := mem.TLBStress(cfg)
+	if err != nil {
+		return err
+	}
+	ms := fig.AddSeries("measured/host-4KiB-pages")
+	for _, p := range measured {
+		ms.Add(float64(p.Pages*4096), p.Seconds*1e9)
+	}
+
+	for _, m := range memPlatforms() {
+		for _, mode := range []mem.Mode{mem.Paged, mem.BigMemory} {
+			mm := m.Mem.WithMode(mode)
+			// Sweep past the paged-mode reach so the knee shows.
+			maxBytes := 16 * m.Mem.WithMode(mem.Paged).TLBReach()
+			series := fig.AddSeries(fmt.Sprintf("model/%s/%s", m.Name, mode))
+			for _, p := range mm.Ladder(64<<10, maxBytes, 4) {
+				series.Add(float64(p.Bytes), p.Seconds*1e9)
+			}
+		}
+	}
+	return fig.Fprint(w)
+}
+
+// runM3 tabulates what the mapping mode buys on each platform: page
+// size, TLB reach, modeled steady-state latency at representative
+// working sets, the paged-over-bigmem slowdown, and the one-time
+// demand-paging cost of first touch.
+func runM3(w io.Writer, _ Scale) error {
+	t := report.NewTable("Page-size / big-memory comparison",
+		"platform", "mode", "page", "TLB reach", "ws", "latency (ns)",
+		"slowdown", "first-touch (ms)")
+	workingSets := []int{1 << 20, 64 << 20, 1 << 30}
+	for _, m := range memPlatforms() {
+		for _, ws := range workingSets {
+			big := m.Mem.WithMode(mem.BigMemory)
+			for _, mode := range []mem.Mode{mem.Paged, mem.BigMemory} {
+				mm := m.Mem.WithMode(mode)
+				lat := mm.LoadLatency(ws)
+				t.AddRow(m.Name, mode.String(),
+					report.Bytes(mm.PageSize()), report.Bytes(mm.TLBReach()), report.Bytes(ws),
+					lat*1e9, lat/big.LoadLatency(ws), mm.FirstTouchCost(ws)*1e3)
+			}
+		}
+	}
+	return t.Fprint(w)
+}
+
+// runM4 generates a ladder from each platform's analytic model (in
+// big-memory mode, so TLB cost does not blur the cache knees), fits the
+// hierarchy back with perfmodel.FitHierarchy, and tabulates recovered
+// vs configured capacity and latency per level — the M-family analogue
+// of F13.
+func runM4(w io.Writer, s Scale) error {
+	ppo := 4
+	if s == Full {
+		ppo = 8
+	}
+	t := report.NewTable("Hierarchy fit vs model truth",
+		"platform", "level", "true cap", "fit cap", "cap err %",
+		"true ns", "fit ns", "lat err %", "R2")
+	for _, m := range memPlatforms() {
+		mm := m.Mem.WithMode(mem.BigMemory)
+		maxBytes := 8 * mm.Levels[len(mm.Levels)-1].Capacity
+		fit, err := perfmodel.FitHierarchy(mm.Ladder(4<<10, maxBytes, ppo), len(mm.Levels)+1)
+		if err != nil {
+			return fmt.Errorf("fit %s: %w", m.Name, err)
+		}
+		for _, truth := range mm.Levels {
+			// Match each true level to the nearest recovered capacity.
+			var bestFit perfmodel.FittedLevel
+			bestErr := -1.0
+			for _, f := range fit.Levels {
+				if e := perfmodel.RelErr(float64(f.Capacity), float64(truth.Capacity)); bestErr < 0 || e < bestErr {
+					bestErr, bestFit = e, f
+				}
+			}
+			if bestErr < 0 {
+				return fmt.Errorf("fit %s: no levels recovered", m.Name)
+			}
+			t.AddRow(m.Name, truth.Name,
+				report.Bytes(truth.Capacity), report.Bytes(bestFit.Capacity), bestErr*100,
+				truth.Latency*1e9, bestFit.Latency*1e9,
+				perfmodel.RelErr(bestFit.Latency, truth.Latency)*100, fit.R2)
+		}
+		t.AddRow(m.Name, "memory", "-", "-", "-",
+			mm.MemLatency*1e9, fit.MemLatency*1e9,
+			perfmodel.RelErr(fit.MemLatency, mm.MemLatency)*100, fit.R2)
+	}
+	return t.Fprint(w)
+}

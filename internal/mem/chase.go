@@ -1,0 +1,224 @@
+package mem
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ChaseConfig configures one pointer-chase measurement.
+type ChaseConfig struct {
+	// Bytes is the working-set size. The chase touches Bytes/Stride
+	// slots spread Stride bytes apart, so the footprint spans the whole
+	// range even though only one word per slot is loaded.
+	Bytes int
+	// Stride is the distance between consecutive slots in bytes
+	// (default 64, one cache line; must be a positive multiple of 4).
+	Stride int
+	// Iters is the number of dependent loads to time (default 1<<18).
+	Iters int
+	// Trials is how many times the timed loop runs; the best (minimum)
+	// time is reported, as STREAM does (default 3).
+	Trials int
+	// Seed selects the random cycle (default 1).
+	Seed uint64
+}
+
+func (c ChaseConfig) normalize() ChaseConfig {
+	if c.Stride <= 0 {
+		c.Stride = 64
+	}
+	if c.Iters <= 0 {
+		c.Iters = 1 << 18
+	}
+	if c.Trials <= 0 {
+		c.Trials = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c ChaseConfig) validate() error {
+	if c.Stride%4 != 0 {
+		return fmt.Errorf("mem: stride %d is not a multiple of 4", c.Stride)
+	}
+	if c.Bytes < 2*c.Stride {
+		return fmt.Errorf("mem: working set %dB smaller than two strides (%dB)", c.Bytes, 2*c.Stride)
+	}
+	return nil
+}
+
+// ChaseResult holds one pointer-chase measurement.
+type ChaseResult struct {
+	Bytes    int     // working set actually touched (slots * stride)
+	Slots    int     // number of chase slots in the cycle
+	Seconds  float64 // per-access latency of the best trial
+	Accesses int     // dependent loads per trial
+	Checksum uint32  // final cursor; defeats dead-code elimination
+}
+
+// Sample converts the result to a ladder point.
+func (r ChaseResult) Sample() Sample { return Sample{Bytes: r.Bytes, Seconds: r.Seconds} }
+
+// Chase measures the average dependent-load latency over a working set:
+// it lays out Bytes/Stride slots, links them into one random cycle
+// (Sattolo's algorithm, so the cycle is a single orbit with no short
+// loops), walks the cycle once to warm caches and TLB, then times Iters
+// chained loads. Every load's address comes from the previous load, so
+// the measurement exposes true load-to-use latency at this working-set
+// size rather than throughput.
+func Chase(cfg ChaseConfig) (ChaseResult, error) {
+	cfg = cfg.normalize()
+	if err := cfg.validate(); err != nil {
+		return ChaseResult{}, err
+	}
+	nslots := cfg.Bytes / cfg.Stride
+	buf, start := buildCycle(nslots, cfg.Stride/4, 0, cfg.Seed)
+
+	// One full pass warms the cache hierarchy and faults in every page.
+	p := walk(buf, start, nslots)
+
+	best := 0.0
+	for t := 0; t < cfg.Trials; t++ {
+		t0 := time.Now()
+		p = walk(buf, p, cfg.Iters)
+		dt := time.Since(t0).Seconds()
+		if t == 0 || dt < best {
+			best = dt
+		}
+	}
+	return ChaseResult{
+		Bytes:    nslots * cfg.Stride,
+		Slots:    nslots,
+		Seconds:  best / float64(cfg.Iters),
+		Accesses: cfg.Iters,
+		Checksum: p,
+	}, nil
+}
+
+// buildCycle allocates a buffer of nslots slots, spaceWords words apart,
+// and links the slots into one random cycle. jitterWords, when non-zero,
+// offsets slot i by (i*17 mod jitterWords/16)*16 words within its slot
+// span — the TLB stress pattern uses it to spread lines across cache
+// sets. It returns the buffer and the start index of the cycle.
+func buildCycle(nslots, spaceWords, jitterWords int, seed uint64) ([]uint32, uint32) {
+	pos := func(slot int) uint32 {
+		off := 0
+		if jitterWords > 0 {
+			off = (slot * 17 % (jitterWords / 16)) * 16
+		}
+		return uint32(slot*spaceWords + off)
+	}
+	buf := make([]uint32, nslots*spaceWords)
+
+	// Random permutation of the slots = visit order around the cycle.
+	order := make([]int32, nslots)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	r := rng.NewSplitMix64(seed)
+	// Sattolo's variant (swap with j < i strictly) yields a single
+	// n-cycle, so the chase can never fall into a short sub-loop.
+	for i := nslots - 1; i > 0; i-- {
+		j := int(r.Uint64() % uint64(i))
+		order[i], order[j] = order[j], order[i]
+	}
+	for i := 0; i < nslots; i++ {
+		next := order[(i+1)%nslots]
+		buf[pos(int(order[i]))] = pos(int(next))
+	}
+	return buf, pos(int(order[0]))
+}
+
+// walk performs n dependent loads starting at cursor p. The body is
+// unrolled so loop overhead stays small next to a cache hit.
+func walk(buf []uint32, p uint32, n int) uint32 {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		p = buf[p]
+		p = buf[p]
+		p = buf[p]
+		p = buf[p]
+		p = buf[p]
+		p = buf[p]
+		p = buf[p]
+		p = buf[p]
+	}
+	for ; i < n; i++ {
+		p = buf[p]
+	}
+	return p
+}
+
+// LadderConfig configures a working-set sweep of pointer-chase points.
+type LadderConfig struct {
+	// MinBytes and MaxBytes bound the sweep (defaults 4 KiB and 4 MiB).
+	MinBytes, MaxBytes int
+	// PointsPerOctave sets the sweep density: how many sizes per
+	// doubling of the working set (default 2).
+	PointsPerOctave int
+	// Stride, Iters, Trials, Seed are passed through to each Chase.
+	Stride, Iters, Trials int
+	Seed                  uint64
+}
+
+func (c LadderConfig) normalize() LadderConfig {
+	if c.MinBytes <= 0 {
+		c.MinBytes = 4 << 10
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 4 << 20
+	}
+	if c.PointsPerOctave <= 0 {
+		c.PointsPerOctave = 2
+	}
+	return c
+}
+
+// SweepSizes returns the geometric size schedule of a ladder sweep:
+// PointsPerOctave sizes per doubling from MinBytes through MaxBytes
+// inclusive, rounded to whole strides.
+func SweepSizes(minBytes, maxBytes, pointsPerOctave, stride int) []int {
+	if stride <= 0 {
+		stride = 64
+	}
+	var sizes []int
+	size := float64(minBytes)
+	step := math.Pow(2, 1/float64(pointsPerOctave))
+	last := -1
+	for size <= float64(maxBytes)*1.0001 {
+		s := int(size+0.5) / stride * stride
+		if s >= 2*stride && s != last {
+			sizes = append(sizes, s)
+			last = s
+		}
+		size *= step
+	}
+	return sizes
+}
+
+// Ladder runs a full working-set sweep and returns one Sample per size,
+// in ascending size order — the measured latency ladder.
+func Ladder(cfg LadderConfig) ([]Sample, error) {
+	cfg = cfg.normalize()
+	sizes := SweepSizes(cfg.MinBytes, cfg.MaxBytes, cfg.PointsPerOctave, cfg.Stride)
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("mem: empty sweep [%d,%d]", cfg.MinBytes, cfg.MaxBytes)
+	}
+	out := make([]Sample, 0, len(sizes))
+	for _, sz := range sizes {
+		res, err := Chase(ChaseConfig{
+			Bytes: sz, Stride: cfg.Stride, Iters: cfg.Iters,
+			Trials: cfg.Trials, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.Sample())
+	}
+	return out, nil
+}

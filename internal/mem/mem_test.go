@@ -1,0 +1,198 @@
+package mem
+
+import (
+	"math"
+	"testing"
+)
+
+func testModel() *Model {
+	return &Model{
+		Name: "test",
+		Levels: []Level{
+			{Name: "L1", Capacity: 32 << 10, Latency: 1.5e-9},
+			{Name: "L2", Capacity: 6 << 20, Latency: 5.5e-9},
+		},
+		MemLatency:     90e-9,
+		TLB:            TLB{Entries: 256, MissCost: 20e-9},
+		PageBytes:      4 << 10,
+		LargePageBytes: 2 << 20,
+		PageFaultCost:  1.5e-6,
+		Mode:           Paged,
+	}
+}
+
+func TestChaseCycleIsSingleOrbit(t *testing.T) {
+	for _, nslots := range []int{2, 3, 17, 256} {
+		buf, start := buildCycle(nslots, 16, 0, 7)
+		seen := map[uint32]bool{}
+		p := start
+		for i := 0; i < nslots; i++ {
+			if seen[p] {
+				t.Fatalf("nslots=%d: revisited slot %d after %d steps", nslots, p, i)
+			}
+			seen[p] = true
+			p = buf[p]
+		}
+		if p != start {
+			t.Errorf("nslots=%d: cycle did not close (ended at %d, want %d)", nslots, p, start)
+		}
+	}
+}
+
+func TestChaseRuns(t *testing.T) {
+	res, err := Chase(ChaseConfig{Bytes: 64 << 10, Iters: 1 << 12, Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 {
+		t.Errorf("non-positive latency %g", res.Seconds)
+	}
+	if res.Slots != (64<<10)/64 {
+		t.Errorf("slots = %d, want %d", res.Slots, (64<<10)/64)
+	}
+}
+
+func TestChaseRejectsBadConfig(t *testing.T) {
+	if _, err := Chase(ChaseConfig{Bytes: 64, Stride: 64}); err == nil {
+		t.Error("working set below two strides accepted")
+	}
+	if _, err := Chase(ChaseConfig{Bytes: 4096, Stride: 30}); err == nil {
+		t.Error("non-multiple-of-4 stride accepted")
+	}
+}
+
+func TestSweepSizesGeometric(t *testing.T) {
+	sizes := SweepSizes(4<<10, 64<<10, 2, 64)
+	if len(sizes) == 0 {
+		t.Fatal("empty sweep")
+	}
+	if sizes[0] != 4<<10 {
+		t.Errorf("first size %d, want %d", sizes[0], 4<<10)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Errorf("sizes not ascending: %v", sizes)
+		}
+	}
+	// 2 points/octave over 4 octaves inclusive: 9 points.
+	if len(sizes) != 9 {
+		t.Errorf("got %d points, want 9: %v", len(sizes), sizes)
+	}
+	last := sizes[len(sizes)-1]
+	if last != 64<<10 {
+		t.Errorf("last size %d, want %d", last, 64<<10)
+	}
+}
+
+func TestLadderMeasured(t *testing.T) {
+	samples, err := Ladder(LadderConfig{
+		MinBytes: 4 << 10, MaxBytes: 64 << 10,
+		PointsPerOctave: 1, Iters: 1 << 10, Trials: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("got %d samples, want 5", len(samples))
+	}
+	for _, s := range samples {
+		if s.Seconds <= 0 {
+			t.Errorf("size %d: non-positive latency", s.Bytes)
+		}
+	}
+}
+
+func TestTLBStressRuns(t *testing.T) {
+	samples, err := TLBStress(TLBConfig{
+		MinPages: 8, MaxPages: 64, PointsPerOctave: 1, Iters: 1 << 10, Trials: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 3 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	for _, s := range samples {
+		if s.Seconds <= 0 {
+			t.Errorf("pages %d: non-positive latency", s.Pages)
+		}
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := testModel().Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := testModel()
+	bad.Levels[1].Capacity = 16 << 10 // not ascending
+	if err := bad.Validate(); err == nil {
+		t.Error("non-ascending capacities accepted")
+	}
+	bad = testModel()
+	bad.MemLatency = 1e-9 // below last level
+	if err := bad.Validate(); err == nil {
+		t.Error("memory faster than cache accepted")
+	}
+	bad = testModel()
+	bad.LargePageBytes = 512 // below base page
+	if err := bad.Validate(); err == nil {
+		t.Error("large page smaller than base page accepted")
+	}
+	var nilModel *Model
+	if err := nilModel.Validate(); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestModelLoadLatencyPlateaus(t *testing.T) {
+	m := testModel().WithMode(BigMemory) // TLB reach covers the sweep
+	// Deep inside L1 the latency is L1's.
+	if got := m.LoadLatency(8 << 10); math.Abs(got-1.5e-9) > 0.1e-9 {
+		t.Errorf("L1 plateau = %g, want ~1.5ns", got)
+	}
+	// Between L1 and L2 knees: L2 latency.
+	if got := m.LoadLatency(1 << 20); math.Abs(got-5.5e-9) > 0.5e-9 {
+		t.Errorf("L2 plateau = %g, want ~5.5ns", got)
+	}
+	// Far beyond L2: memory latency.
+	if got := m.LoadLatency(256 << 20); math.Abs(got-90e-9) > 5e-9 {
+		t.Errorf("memory plateau = %g, want ~90ns", got)
+	}
+	// Latency must be monotonically non-decreasing in working set.
+	prev := 0.0
+	for _, s := range m.Ladder(4<<10, 64<<20, 4) {
+		if s.Seconds < prev-1e-15 {
+			t.Fatalf("latency decreased at %dB: %g < %g", s.Bytes, s.Seconds, prev)
+		}
+		prev = s.Seconds
+	}
+}
+
+func TestModelTLBCost(t *testing.T) {
+	m := testModel() // Paged: reach = 256 * 4KiB = 1 MiB
+	if m.TLBReach() != 1<<20 {
+		t.Fatalf("paged reach = %d, want 1MiB", m.TLBReach())
+	}
+	big := m.WithMode(BigMemory) // reach = 256 * 2MiB = 512 MiB
+	if big.TLBReach() != 512<<20 {
+		t.Fatalf("bigmem reach = %d, want 512MiB", big.TLBReach())
+	}
+	// At a working set past paged reach but inside bigmem reach, the
+	// paged mode pays the walk cost.
+	ws := 32 << 20
+	gap := m.LoadLatency(ws) - big.LoadLatency(ws)
+	if math.Abs(gap-m.TLB.MissCost) > 2e-9 {
+		t.Errorf("paged-bigmem gap = %g, want ~%g", gap, m.TLB.MissCost)
+	}
+}
+
+func TestModelFirstTouchCost(t *testing.T) {
+	m := testModel()
+	ws := 1 << 20 // 256 base pages
+	if got, want := m.FirstTouchCost(ws), 256*1.5e-6; math.Abs(got-want) > 1e-12 {
+		t.Errorf("paged first touch = %g, want %g", got, want)
+	}
+	if got := m.WithMode(BigMemory).FirstTouchCost(ws); got != 0 {
+		t.Errorf("bigmem first touch = %g, want 0", got)
+	}
+}

@@ -1,0 +1,172 @@
+package mem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mode selects how the model's address space is mapped, the axis the
+// source study compares.
+type Mode int
+
+const (
+	// Paged is a demand-paged address space built from small (base)
+	// pages: short TLB reach, and a per-page fault cost on first touch.
+	Paged Mode = iota
+	// BigMemory is a statically mapped address space built from large
+	// pages: TLB reach typically covers all of memory, and there are no
+	// demand-paging faults.
+	BigMemory
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == BigMemory {
+		return "bigmem"
+	}
+	return "paged"
+}
+
+// Level is one cache level of the modeled hierarchy.
+type Level struct {
+	Name     string
+	Capacity int     // bytes
+	Latency  float64 // load-to-use latency of a hit, in seconds
+}
+
+// TLB models the translation lookaside buffer.
+type TLB struct {
+	Entries  int     // entries (assumed shared across page sizes)
+	MissCost float64 // page-walk cost added to a missing access, in seconds
+}
+
+// Model is the analytic memory-hierarchy model attached to a platform
+// preset (cluster.Model.Mem). It answers the same question the probe
+// kernels measure: the expected per-access latency of a random dependent
+// chase over a given working set.
+type Model struct {
+	Name string
+	// Levels are the cache levels in ascending capacity order.
+	Levels []Level
+	// MemLatency is the latency of a load served by main memory.
+	MemLatency float64
+	TLB        TLB
+	// PageBytes is the base page size used in Paged mode;
+	// LargePageBytes is the page size used in BigMemory mode.
+	PageBytes      int
+	LargePageBytes int
+	// PageFaultCost is the demand-paging cost of first-touching one
+	// base page (Paged mode only), in seconds.
+	PageFaultCost float64
+	// Mode is the platform's default mapping mode.
+	Mode Mode
+}
+
+// Validate checks the model is internally consistent.
+func (m *Model) Validate() error {
+	if m == nil {
+		return fmt.Errorf("mem: nil model")
+	}
+	if len(m.Levels) == 0 {
+		return fmt.Errorf("mem: model %q has no cache levels", m.Name)
+	}
+	prevCap := 0
+	prevLat := 0.0
+	for _, l := range m.Levels {
+		if l.Capacity <= prevCap {
+			return fmt.Errorf("mem: model %q level %s capacity %d not ascending", m.Name, l.Name, l.Capacity)
+		}
+		if l.Latency <= prevLat {
+			return fmt.Errorf("mem: model %q level %s latency %g not ascending", m.Name, l.Name, l.Latency)
+		}
+		prevCap, prevLat = l.Capacity, l.Latency
+	}
+	if m.MemLatency <= prevLat {
+		return fmt.Errorf("mem: model %q memory latency %g not above last level", m.Name, m.MemLatency)
+	}
+	if m.TLB.Entries <= 0 || m.TLB.MissCost < 0 {
+		return fmt.Errorf("mem: model %q invalid TLB %+v", m.Name, m.TLB)
+	}
+	if m.PageBytes <= 0 || m.LargePageBytes < m.PageBytes {
+		return fmt.Errorf("mem: model %q invalid page sizes %d/%d", m.Name, m.PageBytes, m.LargePageBytes)
+	}
+	if m.PageFaultCost < 0 {
+		return fmt.Errorf("mem: model %q negative page-fault cost", m.Name)
+	}
+	return nil
+}
+
+// WithMode returns a copy of the model switched to the given mode.
+func (m *Model) WithMode(mode Mode) *Model {
+	c := *m
+	c.Mode = mode
+	return &c
+}
+
+// PageSize returns the page size of the current mode.
+func (m *Model) PageSize() int {
+	if m.Mode == BigMemory {
+		return m.LargePageBytes
+	}
+	return m.PageBytes
+}
+
+// TLBReach returns the address range the TLB covers without misses under
+// the current mode: entries times page size.
+func (m *Model) TLBReach() int { return m.TLB.Entries * m.PageSize() }
+
+// occupancy is the modeled fraction of accesses that hit within a
+// capacity of c bytes when chasing uniformly over ws bytes. A sharp
+// logistic in log-space stands in for the capacity-miss transition: 1/2
+// exactly at ws == c, saturating within about a quarter octave either
+// side. The sharpness keeps the ladder's plateaus flat enough for
+// knee-point fitting while staying smooth and differentiable.
+func occupancy(ws, c int) float64 {
+	if ws <= 0 || c <= 0 {
+		return 0
+	}
+	r := float64(ws) / float64(c)
+	return 1 / (1 + math.Pow(r, 16))
+}
+
+// LoadLatency returns the expected per-access latency of a random
+// dependent chase over a working set of ws bytes: the capacity-weighted
+// mix of level latencies, plus the TLB page-walk cost for the fraction
+// of accesses that fall outside TLB reach.
+func (m *Model) LoadLatency(ws int) float64 {
+	lat := 0.0
+	covered := 0.0
+	for _, l := range m.Levels {
+		f := occupancy(ws, l.Capacity)
+		if f > covered {
+			lat += (f - covered) * l.Latency
+			covered = f
+		}
+	}
+	lat += (1 - covered) * m.MemLatency
+	lat += (1 - occupancy(ws, m.TLBReach())) * m.TLB.MissCost
+	return lat
+}
+
+// FirstTouchCost returns the modeled one-time cost of faulting in a
+// working set of ws bytes: pages times the per-fault cost in Paged mode,
+// zero in BigMemory mode (the address space is mapped up front).
+func (m *Model) FirstTouchCost(ws int) float64 {
+	if m.Mode == BigMemory {
+		return 0
+	}
+	pages := (ws + m.PageBytes - 1) / m.PageBytes
+	return float64(pages) * m.PageFaultCost
+}
+
+// Ladder evaluates the model over the same geometric working-set
+// schedule the measured sweep uses, returning the modeled latency
+// ladder.
+func (m *Model) Ladder(minBytes, maxBytes, pointsPerOctave int) []Sample {
+	sizes := SweepSizes(minBytes, maxBytes, pointsPerOctave, 64)
+	out := make([]Sample, 0, len(sizes))
+	for _, sz := range sizes {
+		out = append(out, Sample{Bytes: sz, Seconds: m.LoadLatency(sz)})
+	}
+	return out
+}

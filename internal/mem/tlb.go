@@ -1,0 +1,93 @@
+package mem
+
+import (
+	"fmt"
+	"time"
+)
+
+// TLBConfig configures a TLB-stress sweep.
+type TLBConfig struct {
+	// PageBytes is the page granularity to stress (default 4096; must
+	// be a positive multiple of 64).
+	PageBytes int
+	// MinPages and MaxPages bound the sweep in pages (defaults 8 and
+	// 2048). The cache footprint is one line per page, so the sweep
+	// isolates address-translation cost: latency stays flat while the
+	// page count fits the TLB and climbs once it spills.
+	MinPages, MaxPages int
+	// PointsPerOctave sets sweep density (default 2).
+	PointsPerOctave int
+	// Iters, Trials, Seed follow ChaseConfig semantics.
+	Iters, Trials int
+	Seed          uint64
+}
+
+func (c TLBConfig) normalize() TLBConfig {
+	if c.PageBytes <= 0 {
+		c.PageBytes = 4096
+	}
+	if c.MinPages <= 0 {
+		c.MinPages = 8
+	}
+	if c.MaxPages <= 0 {
+		c.MaxPages = 2048
+	}
+	if c.PointsPerOctave <= 0 {
+		c.PointsPerOctave = 2
+	}
+	if c.Iters <= 0 {
+		c.Iters = 1 << 17
+	}
+	if c.Trials <= 0 {
+		c.Trials = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// TLBSample is one point of a TLB-stress sweep.
+type TLBSample struct {
+	Pages   int     // distinct pages touched per cycle
+	Seconds float64 // per-access latency in seconds
+}
+
+// TLBStress measures dependent-load latency while touching exactly one
+// cache line per page, in random cyclic order, for a sweep of page
+// counts. The line offset within each page varies from page to page so
+// consecutive pages do not collide in the same cache set (a stride equal
+// to the page size would otherwise thrash a handful of sets and
+// masquerade as TLB cost). The resulting curve is the classic TLB-reach
+// probe: its knee sits at the TLB entry count, and its plateau height
+// above the baseline is the page-walk cost.
+func TLBStress(cfg TLBConfig) ([]TLBSample, error) {
+	cfg = cfg.normalize()
+	if cfg.PageBytes%64 != 0 {
+		return nil, fmt.Errorf("mem: page size %d is not a multiple of 64", cfg.PageBytes)
+	}
+	counts := SweepSizes(cfg.MinPages, cfg.MaxPages, cfg.PointsPerOctave, 1)
+	var out []TLBSample
+	for _, pages := range counts {
+		if pages < 2 {
+			continue
+		}
+		pageWords := cfg.PageBytes / 4
+		buf, start := buildCycle(pages, pageWords, pageWords, cfg.Seed)
+		p := walk(buf, start, pages) // fault in and warm every page
+		best := 0.0
+		for t := 0; t < cfg.Trials; t++ {
+			t0 := time.Now()
+			p = walk(buf, p, cfg.Iters)
+			dt := time.Since(t0).Seconds()
+			if t == 0 || dt < best {
+				best = dt
+			}
+		}
+		out = append(out, TLBSample{Pages: pages, Seconds: best / float64(cfg.Iters)})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mem: empty TLB sweep [%d,%d]", cfg.MinPages, cfg.MaxPages)
+	}
+	return out, nil
+}

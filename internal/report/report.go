@@ -67,6 +67,22 @@ func formatFloat(v float64) string {
 // NRows returns the number of data rows added.
 func (t *Table) NRows() int { return len(t.rows) }
 
+// Bytes renders a byte count in the largest exact binary unit
+// ("4KiB", "6MiB", "1GiB"), falling back to a plain byte count — the
+// format capacity columns read naturally in.
+func Bytes(b int) string {
+	switch {
+	case b >= 1<<30 && b%(1<<30) == 0:
+		return strconv.Itoa(b>>30) + "GiB"
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return strconv.Itoa(b>>20) + "MiB"
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return strconv.Itoa(b>>10) + "KiB"
+	default:
+		return strconv.Itoa(b) + "B"
+	}
+}
+
 // Fprint writes the aligned table.
 func (t *Table) Fprint(w io.Writer) error {
 	widths := make([]int, len(t.headers))
