@@ -7,15 +7,23 @@
 //	charhpc -list
 //	charhpc -scale quick            # all experiments, reduced sweeps
 //	charhpc -scale full -exp F1,T3  # selected experiments, paper scale
+//	charhpc -j 4 -out results/      # 4-way parallel, one file per ID
+//
+// Experiments run on a core.RunParallel worker pool (-j, default 1);
+// each writes to its own buffer, so per-experiment output — including
+// the files under -out — is identical to a serial run's, and stdout
+// stays in registry order. A failed experiment no longer aborts the
+// run: the rest still execute, errors are collected, and the exit
+// status is non-zero at the end.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 )
@@ -25,6 +33,7 @@ func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
 	listFlag := flag.Bool("list", false, "list experiments and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+	jFlag := flag.Int("j", 1, "worker pool size: run up to j experiments concurrently")
 	flag.Parse()
 
 	if *listFlag {
@@ -52,41 +61,75 @@ func main() {
 		}
 	}
 
-	var selected []core.Experiment
+	var ids []string
 	if *expFlag == "all" {
-		selected = core.All()
+		for _, e := range core.All() {
+			ids = append(ids, e.ID)
+		}
 	} else {
+		seen := map[string]bool{}
 		for _, id := range strings.Split(*expFlag, ",") {
 			id = strings.TrimSpace(id)
-			e, ok := core.Get(id)
-			if !ok {
+			if _, ok := core.Get(id); !ok {
 				fmt.Fprintf(os.Stderr, "charhpc: unknown experiment %q (use -list)\n", id)
 				os.Exit(2)
 			}
-			selected = append(selected, e)
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
 		}
 	}
 
-	for _, e := range selected {
-		fmt.Printf("\n### %s (%s): %s\n", e.ID, e.Kind, e.Title)
-		w := io.Writer(os.Stdout)
-		var f *os.File
+	// Run on the worker pool, but print in registry order as results
+	// land: slot i's channel is filled whenever experiment i finishes,
+	// and the main goroutine drains the slots in order. Output is
+	// buffered per experiment (the header carries its wall time), so
+	// each block appears when that experiment completes, not live.
+	slots := make([]chan core.Result, len(ids))
+	for i := range slots {
+		slots[i] = make(chan core.Result, 1)
+	}
+	index := make(map[string]int, len(ids))
+	for i, id := range ids {
+		index[id] = i
+	}
+	go func() {
+		// IDs were validated above, so the pool cannot fail early.
+		if err := core.RunParallelFunc(ids, scale, *jFlag, func(r core.Result) {
+			slots[index[r.Experiment.ID]] <- r
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "charhpc: %v\n", err)
+			os.Exit(2)
+		}
+	}()
+
+	var failed []string
+	for i := range slots {
+		r := <-slots[i]
+		e := r.Experiment
+		fmt.Printf("\n### %s (%s): %s  [%s]\n", e.ID, e.Kind, e.Title,
+			r.Elapsed.Round(time.Millisecond))
+		os.Stdout.Write(r.Rec.Bytes())
+		bad := false
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "charhpc: experiment %s: %v\n", e.ID, r.Err)
+			bad = true
+		}
 		if *outDir != "" {
-			var err error
-			f, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
-			if err != nil {
+			path := filepath.Join(*outDir, e.ID+".txt")
+			if err := os.WriteFile(path, r.Rec.Bytes(), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "charhpc: %v\n", err)
-				os.Exit(1)
+				bad = true
 			}
-			w = io.MultiWriter(os.Stdout, f)
 		}
-		err := e.Run(w, scale)
-		if f != nil {
-			f.Close()
+		if bad {
+			failed = append(failed, e.ID)
 		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "charhpc: experiment %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "charhpc: %d experiment(s) failed: %s\n",
+			len(failed), strings.Join(failed, ", "))
+		os.Exit(1)
 	}
 }

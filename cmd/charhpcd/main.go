@@ -1,0 +1,88 @@
+// Command charhpcd serves the characterization's experiment registry
+// over HTTP: cached, content-negotiated results with ETags, filled by
+// a parallel warm-up at startup (see internal/serve).
+//
+// Usage:
+//
+//	charhpcd                               # :8080, warm quick cache
+//	charhpcd -addr :9090 -j 8              # custom port, 8 warm workers
+//	charhpcd -warm=false -scale-limit full # cold start, allow full runs
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "warm-up worker pool size")
+	warm := flag.Bool("warm", true, "fill the quick-scale cache in the background at startup")
+	scaleLimit := flag.String("scale-limit", "quick", "largest scale served: quick or full")
+	flag.Parse()
+
+	var limit core.Scale
+	switch *scaleLimit {
+	case "quick":
+		limit = core.Quick
+	case "full":
+		limit = core.Full
+	default:
+		fmt.Fprintf(os.Stderr, "charhpcd: unknown scale limit %q (want quick or full)\n", *scaleLimit)
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Config{ScaleLimit: limit})
+	if *warm {
+		go func() {
+			t0 := time.Now()
+			n := srv.Warm(nil, *workers)
+			log.Printf("charhpcd: warmed %d quick-scale results in %s (%d workers)",
+				n, time.Since(t0).Round(time.Millisecond), *workers)
+		}()
+	}
+
+	// No WriteTimeout: a full-scale experiment legitimately holds a
+	// response open for minutes. Header and idle timeouts are what
+	// keep slow clients from pinning goroutines and fds forever.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("charhpcd: listening on %s (scale limit %s)", *addr, limit)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("charhpcd: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("charhpcd: shutting down")
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shctx); err != nil {
+			log.Printf("charhpcd: shutdown: %v", err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Results-service walk-through: start the HTTP results service
+// in-process, then act as a client against it — list the registry,
+// fetch one experiment in all three negotiated content types, and
+// revalidate with If-None-Match to get a 304 off the cache.
+//
+//	go run ./examples/results-service
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	// The service is just an http.Handler; production runs it via
+	// cmd/charhpcd, the walk-through hosts it on a loopback listener.
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	fmt.Printf("results service up at %s\n", ts.URL)
+
+	// Warm the cache for the experiment we are about to fetch, the
+	// way charhpcd warms the whole registry at startup.
+	n := srv.Warm([]string{"T1"}, 2)
+	fmt.Printf("warm-up ran %d experiment(s)\n\n", n)
+
+	// 1. Liveness.
+	body, _ := get(ts.URL+"/healthz", "")
+	fmt.Printf("GET /healthz -> %s", body)
+
+	// 2. The registry listing as JSON.
+	body, _ = get(ts.URL+"/experiments", "application/json")
+	var list []struct{ ID, Kind, Title string }
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		log.Fatalf("bad listing: %v", err)
+	}
+	fmt.Printf("\nGET /experiments (JSON) -> %d experiments, first three:\n", len(list))
+	for _, e := range list[:3] {
+		fmt.Printf("  %-4s %-6s %s\n", e.ID, e.Kind, e.Title)
+	}
+
+	// 3. One experiment, three representations of one cached run.
+	fmt.Println("\nGET /experiments/T1 as text/plain:")
+	body, _ = get(ts.URL+"/experiments/T1?scale=quick", "text/plain")
+	fmt.Print(indent(firstLines(body, 5)))
+
+	fmt.Println("\nGET /experiments/T1 as text/csv:")
+	body, _ = get(ts.URL+"/experiments/T1?scale=quick", "text/csv")
+	fmt.Print(indent(firstLines(body, 4)))
+
+	fmt.Println("\nGET /experiments/T1 as application/json:")
+	body, _ = get(ts.URL+"/experiments/T1?scale=quick", "application/json")
+	var doc struct {
+		ID             string  `json:"id"`
+		Scale          string  `json:"scale"`
+		ElapsedSeconds float64 `json:"elapsed_seconds"`
+		Sections       []struct {
+			Title   string     `json:"title"`
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		} `json:"sections"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		log.Fatalf("bad result JSON: %v", err)
+	}
+	fmt.Printf("  id=%s scale=%s elapsed=%.3fs sections=%d\n",
+		doc.ID, doc.Scale, doc.ElapsedSeconds, len(doc.Sections))
+	fmt.Printf("  section %q: %d columns x %d rows\n",
+		doc.Sections[0].Title, len(doc.Sections[0].Columns), len(doc.Sections[0].Rows))
+
+	// 4. Conditional revalidation: send the ETag back and get a 304
+	// with no body — what a client-side cache does on refresh.
+	req, _ := http.NewRequest("GET", ts.URL+"/experiments/T1?scale=quick", nil)
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	fmt.Printf("\nfirst GET: %s, ETag %s...\n", resp.Status, etag[:10])
+
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	fmt.Printf("revalidating GET with If-None-Match: %s\n", resp.Status)
+}
+
+// get fetches a URL with an optional Accept header and returns the
+// body, failing the walk-through on any non-2xx status.
+func get(url, accept string) (string, http.Header) {
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return string(body), resp.Header
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ") + "\n"
+}

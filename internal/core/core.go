@@ -10,6 +10,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -106,14 +107,17 @@ func splitID(id string) (string, int) {
 	return id[:i], n
 }
 
-// RunAll executes every experiment against w, stopping at the first
-// error.
+// RunAll executes every experiment serially against w, collecting
+// per-experiment errors instead of stopping at the first (matching
+// the worker-pool runner's keep-going semantics; see runner.go for
+// the concurrent path).
 func RunAll(w io.Writer, s Scale) error {
+	var errs []error
 	for _, e := range All() {
 		fmt.Fprintf(w, "\n### %s (%s): %s\n", e.ID, e.Kind, e.Title)
 		if err := e.Run(w, s); err != nil {
-			return fmt.Errorf("core: experiment %s: %w", e.ID, err)
+			errs = append(errs, fmt.Errorf("core: experiment %s: %w", e.ID, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }

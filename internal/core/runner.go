@@ -1,0 +1,117 @@
+// The execution layer of the registry: run experiments off-terminal
+// into Recorders, serially or on a worker pool. Experiments already
+// write to whatever writer they are handed and share no mutable
+// state, so independent runs compose freely across goroutines; the
+// pool here is what fills a cold results cache concurrently and what
+// cmd/charhpc's -j flag drives.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/report"
+)
+
+// Result is one experiment execution captured off-terminal: the
+// Recorder holds the byte-exact text a serial run would have produced
+// plus the structured sections behind it, so the output can be
+// re-rendered (text, CSV, JSON) without re-running.
+type Result struct {
+	Experiment Experiment
+	Scale      Scale
+	Rec        *report.Recorder
+	Elapsed    time.Duration
+	Err        error
+}
+
+// Run executes one experiment against a fresh Recorder and times it.
+// A failing experiment still returns whatever output it produced
+// before the error.
+func Run(e Experiment, s Scale) Result {
+	rec := report.NewRecorder()
+	t0 := time.Now()
+	err := e.Run(rec, s)
+	return Result{Experiment: e, Scale: s, Rec: rec, Elapsed: time.Since(t0), Err: err}
+}
+
+// resolve maps experiment IDs to registry entries, failing on the
+// first unknown ID so nothing runs on a typo.
+func resolve(ids []string) ([]Experiment, error) {
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := Get(id)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown experiment %q", id)
+		}
+		exps[i] = e
+	}
+	return exps, nil
+}
+
+// runPool executes exps on `workers` goroutines via run, invoking fn
+// with the input index as each completes. fn is called from worker
+// goroutines and must be safe for concurrent use.
+func runPool(exps []Experiment, s Scale, workers int, run func(Experiment, Scale) Result, fn func(int, Result)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	type job struct {
+		i int
+		e Experiment
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				fn(j.i, run(j.e, s))
+			}
+		}()
+	}
+	for i, e := range exps {
+		jobs <- job{i, e}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// RunParallel executes the named experiments on a pool of `workers`
+// goroutines and returns their results in the order of ids. Per-run
+// errors are carried in each Result; the returned error is non-nil
+// only for an unknown ID, in which case nothing runs.
+func RunParallel(ids []string, s Scale, workers int) ([]Result, error) {
+	exps, err := resolve(ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(exps))
+	runPool(exps, s, workers, Run, func(i int, r Result) { out[i] = r })
+	return out, nil
+}
+
+// RunParallelFunc is the streaming form of RunParallel: fn is invoked
+// from worker goroutines as each experiment completes, in completion
+// order. It returns only after every run has finished (and its fn
+// call returned), or immediately with an error on an unknown ID.
+func RunParallelFunc(ids []string, s Scale, workers int, fn func(Result)) error {
+	return RunParallelWith(ids, s, workers, Run, fn)
+}
+
+// RunParallelWith is RunParallelFunc with the per-experiment executor
+// swapped out — callers that wrap Run (instrumentation, limits, test
+// stubs) get the same worker pool driven through their wrapper.
+func RunParallelWith(ids []string, s Scale, workers int, run func(Experiment, Scale) Result, fn func(Result)) error {
+	exps, err := resolve(ids)
+	if err != nil {
+		return err
+	}
+	runPool(exps, s, workers, run, func(_ int, r Result) { fn(r) })
+	return nil
+}

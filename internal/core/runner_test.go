@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// T1 and T4 are fully modeled (no host measurement), so their output
+// is deterministic and comparable across runs.
+const detTable = "T1"
+
+func TestRunCapturesSerialOutput(t *testing.T) {
+	e, _ := Get(detTable)
+	var serial bytes.Buffer
+	if err := e.Run(&serial, Quick); err != nil {
+		t.Fatal(err)
+	}
+	r := Run(e, Quick)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Rec.Text() != serial.String() {
+		t.Errorf("Run capture differs from direct run:\n%q\nvs\n%q", r.Rec.Text(), serial.String())
+	}
+	if r.Elapsed <= 0 {
+		t.Error("Run did not time the experiment")
+	}
+	if r.Experiment.ID != detTable || r.Scale != Quick {
+		t.Errorf("Run metadata wrong: %+v", r)
+	}
+	if len(r.Rec.Document().Sections) == 0 {
+		t.Error("Run captured no structured sections")
+	}
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	// Only fully modeled experiments are compared: the fabric-driven
+	// ones (T4, F5, ...) are nondeterministic run-to-run even
+	// serially, so byte-identity is only meaningful where the
+	// underlying experiment is deterministic.
+	ids := []string{"T1", "M3", "M4"}
+	serial := map[string]string{}
+	for _, id := range ids {
+		e, _ := Get(id)
+		var b bytes.Buffer
+		if err := e.Run(&b, Quick); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		serial[id] = b.String()
+	}
+
+	results, err := RunParallel(ids, Quick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(ids) {
+		t.Fatalf("got %d results, want %d", len(results), len(ids))
+	}
+	for i, r := range results {
+		if r.Experiment.ID != ids[i] {
+			t.Errorf("result %d is %s, want %s (order not preserved)", i, r.Experiment.ID, ids[i])
+		}
+		if r.Err != nil {
+			t.Errorf("%s failed: %v", r.Experiment.ID, r.Err)
+		}
+		if r.Rec.Text() != serial[r.Experiment.ID] {
+			t.Errorf("%s parallel output differs from serial", r.Experiment.ID)
+		}
+	}
+}
+
+func TestRunParallelUnknownID(t *testing.T) {
+	if _, err := RunParallel([]string{"T1", "Z9"}, Quick, 2); err == nil {
+		t.Error("unknown ID did not fail")
+	}
+	if err := RunParallelFunc([]string{"Z9"}, Quick, 1, func(Result) {
+		t.Error("fn called despite unknown ID")
+	}); err == nil {
+		t.Error("unknown ID did not fail")
+	}
+}
+
+func TestRunParallelWorkerClamp(t *testing.T) {
+	// Degenerate worker counts must still run everything.
+	for _, workers := range []int{0, -3, 100} {
+		results, err := RunParallel([]string{"T1"}, Quick, workers)
+		if err != nil || len(results) != 1 || results[0].Err != nil {
+			t.Errorf("workers=%d: results=%v err=%v", workers, results, err)
+		}
+	}
+}
+
+func TestRunAllKeepsGoing(t *testing.T) {
+	// RunAll shares the keep-going semantics of the pool runner: it
+	// must emit every experiment's header even when one fails.
+	var b bytes.Buffer
+	err := RunAll(&b, Quick)
+	if err != nil {
+		t.Fatalf("RunAll at quick scale failed: %v", err)
+	}
+	for _, id := range []string{"T1", "F1", "M4"} {
+		if !strings.Contains(b.String(), "### "+id+" ") {
+			t.Errorf("RunAll output missing header for %s", id)
+		}
+	}
+}
+
+func TestRunParallelWith(t *testing.T) {
+	// The custom executor must be the one the pool drives.
+	var calls atomic.Int32
+	stub := func(e Experiment, s Scale) Result {
+		calls.Add(1)
+		r := Run(e, s)
+		return r
+	}
+	err := RunParallelWith([]string{"T1", "M3"}, Quick, 2, stub, func(Result) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("custom executor called %d times, want 2", calls.Load())
+	}
+}
+
+func TestRunParallelFuncCompletionStream(t *testing.T) {
+	var calls atomic.Int32
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	ids := []string{"T1", "T4", "M3"}
+	err := RunParallelFunc(ids, Quick, 2, func(r Result) {
+		calls.Add(1)
+		mu.Lock()
+		seen[r.Experiment.ID] = true
+		mu.Unlock()
+		if !strings.Contains(r.Rec.Text(), "==") {
+			t.Errorf("%s output looks empty: %q", r.Experiment.ID, r.Rec.Text())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(calls.Load()) != len(ids) {
+		t.Errorf("fn called %d times, want %d", calls.Load(), len(ids))
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Errorf("no result for %s", id)
+		}
+	}
+}

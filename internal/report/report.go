@@ -83,8 +83,13 @@ func Bytes(b int) string {
 	}
 }
 
-// Fprint writes the aligned table.
+// Fprint writes the aligned table. If w also implements
+// SectionWriter (see Recorder), the table's structured rows are
+// handed to it as well, so one rendering pass captures both forms.
 func (t *Table) Fprint(w io.Writer) error {
+	if sw, ok := w.(SectionWriter); ok {
+		sw.WriteSection(t.section())
+	}
 	widths := make([]int, len(t.headers))
 	for i, h := range t.headers {
 		widths[i] = len(h)
@@ -128,25 +133,11 @@ func (t *Table) Fprint(w io.Writer) error {
 // CSV writes the table as CSV (RFC-4180 quoting for cells containing
 // commas or quotes).
 func (t *Table) CSV(w io.Writer) error {
-	write := func(cells []string) error {
-		for i, c := range cells {
-			if i > 0 {
-				if _, err := io.WriteString(w, ","); err != nil {
-					return err
-				}
-			}
-			if _, err := io.WriteString(w, csvEscape(c)); err != nil {
-				return err
-			}
-		}
-		_, err := io.WriteString(w, "\n")
-		return err
-	}
-	if err := write(t.headers); err != nil {
+	if err := writeCSVRow(w, t.headers); err != nil {
 		return err
 	}
 	for _, row := range t.rows {
-		if err := write(row); err != nil {
+		if err := writeCSVRow(w, row); err != nil {
 			return err
 		}
 	}
@@ -195,8 +186,12 @@ func (f *Figure) AddSeries(name string) *Series {
 
 // Fprint writes the figure as a long-format data listing: one row per
 // point with the series name, which is both human-readable and directly
-// loadable for plotting.
+// loadable for plotting. If w also implements SectionWriter (see
+// Recorder), the flattened points are handed to it as well.
 func (f *Figure) Fprint(w io.Writer) error {
+	if sw, ok := w.(SectionWriter); ok {
+		sw.WriteSection(f.section())
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s ==\n", f.Title)
 	fmt.Fprintf(&b, "# series, %s, %s\n", f.XLabel, f.YLabel)

@@ -1,0 +1,149 @@
+// Structured-row capture: the emitter behind re-renderable results.
+// A Recorder passed as the writer to an experiment captures both the
+// exact rendered text and, for every table and figure printed through
+// this package, a structured Section of rows — so a single run can be
+// re-rendered as plain text, CSV, or JSON without re-executing the
+// experiment. This is what lets the HTTP results service negotiate
+// content types over one cached execution.
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Section is the structured form of one rendered table or figure:
+// column names plus string-formatted rows, exactly the cells the text
+// rendering shows. Figures flatten to long format with the columns
+// (series, x-label, y-label), one row per point.
+type Section struct {
+	Title   string     `json:"title"`
+	Kind    string     `json:"kind"` // "table" or "figure"
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// SectionWriter is implemented by writers that want the structured
+// rows behind rendered output. Table.Fprint and Figure.Fprint probe
+// their writer for it and, when present, hand over a Section in
+// addition to the plain text.
+type SectionWriter interface {
+	WriteSection(Section)
+}
+
+// Document is an ordered collection of captured sections — one
+// experiment's worth of tables and figures.
+type Document struct {
+	Sections []Section `json:"sections"`
+}
+
+// JSON writes the document as a single JSON object.
+func (d *Document) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(d)
+}
+
+// CSV writes every section as an RFC-4180 row block introduced by a
+// "# title (kind)" comment line, blocks separated by a blank line —
+// the same one-file-many-tables convention the figure text format
+// already uses.
+func (d *Document) CSV(w io.Writer) error {
+	for i, s := range d.Sections {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# %s (%s)\n", s.Title, s.Kind); err != nil {
+			return err
+		}
+		if err := writeCSVRow(w, s.Columns); err != nil {
+			return err
+		}
+		for _, row := range s.Rows {
+			if err := writeCSVRow(w, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSVRow(w io.Writer, cells []string) error {
+	for i, c := range cells {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, csvEscape(c)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Recorder is an io.Writer that tees an experiment's output into two
+// forms: the byte-exact text stream, and the structured sections of
+// every table/figure rendered through this package. Not safe for
+// concurrent use; each experiment run gets its own Recorder.
+type Recorder struct {
+	buf bytes.Buffer
+	doc Document
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Write appends to the text capture.
+func (r *Recorder) Write(p []byte) (int, error) { return r.buf.Write(p) }
+
+// WriteSection appends a structured section (implements SectionWriter).
+func (r *Recorder) WriteSection(s Section) {
+	r.doc.Sections = append(r.doc.Sections, s)
+}
+
+// Text returns the captured text output.
+func (r *Recorder) Text() string { return r.buf.String() }
+
+// Bytes returns the captured text output without copying.
+func (r *Recorder) Bytes() []byte { return r.buf.Bytes() }
+
+// Document returns the captured structured sections.
+func (r *Recorder) Document() *Document { return &r.doc }
+
+// section builds the structured form of a table, defensively copying
+// the header and row slices so later AddRow calls can't alias.
+func (t *Table) section() Section {
+	rows := make([][]string, len(t.rows))
+	for i, row := range t.rows {
+		rows[i] = append([]string(nil), row...)
+	}
+	return Section{
+		Title:   t.title,
+		Kind:    "table",
+		Columns: append([]string(nil), t.headers...),
+		Rows:    rows,
+	}
+}
+
+// section flattens the figure to long format: one row per point,
+// columns (series, x-label, y-label), values formatted exactly as the
+// text rendering formats them.
+func (f *Figure) section() Section {
+	var rows [][]string
+	for _, s := range f.Series {
+		for i := range s.X {
+			rows = append(rows, []string{s.Name, formatFloat(s.X[i]), formatFloat(s.Y[i])})
+		}
+	}
+	return Section{
+		Title:   f.Title,
+		Kind:    "figure",
+		Columns: []string{"series", f.XLabel, f.YLabel},
+		Rows:    rows,
+	}
+}

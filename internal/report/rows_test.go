@@ -1,0 +1,156 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := NewTable("latency", "platform", "ns")
+	t.AddRow("ib-8n", 1.5)
+	t.AddRow("gige-8n", 55.0)
+	return t
+}
+
+func TestRecorderCapturesTableSection(t *testing.T) {
+	rec := NewRecorder()
+	tbl := sampleTable()
+	if err := tbl.Fprint(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Text capture must be byte-identical to a plain Fprint.
+	var plain bytes.Buffer
+	sampleTable().Fprint(&plain)
+	if rec.Text() != plain.String() {
+		t.Errorf("Recorder text differs from plain Fprint:\n%q\nvs\n%q", rec.Text(), plain.String())
+	}
+
+	doc := rec.Document()
+	if len(doc.Sections) != 1 {
+		t.Fatalf("got %d sections, want 1", len(doc.Sections))
+	}
+	s := doc.Sections[0]
+	if s.Title != "latency" || s.Kind != "table" {
+		t.Errorf("section header wrong: %+v", s)
+	}
+	if len(s.Columns) != 2 || s.Columns[0] != "platform" {
+		t.Errorf("columns wrong: %v", s.Columns)
+	}
+	if len(s.Rows) != 2 || s.Rows[0][0] != "ib-8n" || s.Rows[0][1] != "1.5000" {
+		t.Errorf("rows wrong: %v", s.Rows)
+	}
+}
+
+func TestRecorderCapturesFigureSection(t *testing.T) {
+	rec := NewRecorder()
+	fig := NewFigure("bw", "bytes", "MB/s")
+	s1 := fig.AddSeries("ib")
+	s1.Add(8, 100)
+	s1.Add(16, 200)
+	fig.AddSeries("gige").Add(8, 10)
+	if err := fig.Fprint(rec); err != nil {
+		t.Fatal(err)
+	}
+	sec := rec.Document().Sections[0]
+	if sec.Kind != "figure" || sec.Title != "bw" {
+		t.Errorf("section header wrong: %+v", sec)
+	}
+	want := []string{"series", "bytes", "MB/s"}
+	for i, c := range want {
+		if sec.Columns[i] != c {
+			t.Errorf("columns = %v, want %v", sec.Columns, want)
+			break
+		}
+	}
+	if len(sec.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(sec.Rows))
+	}
+	if sec.Rows[2][0] != "gige" || sec.Rows[2][1] != "8.0000" {
+		t.Errorf("last row wrong: %v", sec.Rows[2])
+	}
+	// The text form must still match a plain figure print.
+	var plain bytes.Buffer
+	fig2 := NewFigure("bw", "bytes", "MB/s")
+	p1 := fig2.AddSeries("ib")
+	p1.Add(8, 100)
+	p1.Add(16, 200)
+	fig2.AddSeries("gige").Add(8, 10)
+	fig2.Fprint(&plain)
+	if rec.Text() != plain.String() {
+		t.Errorf("figure text differs:\n%q\nvs\n%q", rec.Text(), plain.String())
+	}
+}
+
+func TestRecorderMultipleSections(t *testing.T) {
+	rec := NewRecorder()
+	sampleTable().Fprint(rec)
+	fig := NewFigure("f", "x", "y")
+	fig.AddSeries("s").Add(1, 2)
+	fig.Fprint(rec)
+	if n := len(rec.Document().Sections); n != 2 {
+		t.Fatalf("got %d sections, want 2", n)
+	}
+	if rec.Document().Sections[1].Kind != "figure" {
+		t.Error("second section should be the figure")
+	}
+}
+
+func TestDocumentJSONRoundTrip(t *testing.T) {
+	rec := NewRecorder()
+	sampleTable().Fprint(rec)
+	var b bytes.Buffer
+	if err := rec.Document().JSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got Document
+	if err := json.Unmarshal(b.Bytes(), &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(got.Sections) != 1 || got.Sections[0].Title != "latency" {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if got.Sections[0].Rows[1][0] != "gige-8n" {
+		t.Errorf("round trip lost rows: %v", got.Sections[0].Rows)
+	}
+}
+
+func TestDocumentCSV(t *testing.T) {
+	rec := NewRecorder()
+	tbl := NewTable("t1", "name", "value")
+	tbl.AddRow(`quo"ted`, "a,b")
+	tbl.Fprint(rec)
+	fig := NewFigure("f1", "x", "y")
+	fig.AddSeries("s").Add(1, 2)
+	fig.Fprint(rec)
+
+	var b strings.Builder
+	if err := rec.Document().CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# t1 (table)\n",
+		"name,value\n",
+		"\"quo\"\"ted\",\"a,b\"\n",
+		"\n# f1 (figure)\n",
+		"series,x,y\n",
+		"s,1.0000,2.0000\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSectionCopyIsDefensive(t *testing.T) {
+	rec := NewRecorder()
+	tbl := sampleTable()
+	tbl.Fprint(rec)
+	tbl.AddRow("later", 9.0)
+	if n := len(rec.Document().Sections[0].Rows); n != 2 {
+		t.Errorf("captured section grew with the table: %d rows", n)
+	}
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// key identifies one cached result: which experiment at which scale.
+type key struct {
+	id    string
+	scale core.Scale
+}
+
+// rep is one negotiated representation of a result: the rendered body
+// and its strong ETag (hash of exactly those bytes).
+type rep struct {
+	body []byte
+	etag string
+}
+
+// entry is one cache slot. done is closed when the fill completes;
+// until then, requests for the same key wait on it instead of
+// re-running the experiment. reps, elapsed and err are written before
+// close(done) and never mutated after, so waiters read them without
+// further locking.
+type entry struct {
+	done    chan struct{}
+	reps    map[string]rep // content type → representation
+	elapsed time.Duration
+	err     error
+}
+
+// cache is the per-(id, scale) result store with single-flight
+// fills: a cold key requested by N goroutines triggers exactly one
+// execution; the other N-1 wait on the winner's entry. Failed fills
+// are not retained, so a later request retries.
+type cache struct {
+	mu      sync.Mutex
+	entries map[key]*entry
+}
+
+func newCache() *cache {
+	return &cache{entries: map[key]*entry{}}
+}
+
+// get returns the entry for k, running fill exactly once if the key
+// is cold no matter how many goroutines ask concurrently.
+func (c *cache) get(k key, fill func() (map[string]rep, time.Duration, error)) (*entry, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		c.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e, nil
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[k] = e
+	c.mu.Unlock()
+
+	e.reps, e.elapsed, e.err = safeFill(fill)
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.entries, k)
+		c.mu.Unlock()
+	}
+	close(e.done)
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// safeFill converts a panicking fill into an error, so the entry is
+// always completed — a hung, never-closed done channel would block
+// every future request for the key (net/http recovers handler panics
+// and keeps the process serving).
+func safeFill(fill func() (map[string]rep, time.Duration, error)) (reps map[string]rep, elapsed time.Duration, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			reps, elapsed, err = nil, 0, fmt.Errorf("experiment run panicked: %v", r)
+		}
+	}()
+	return fill()
+}
+
+// claim reserves k if it is cold, returning the unfilled entry and
+// true. A reserved entry behaves like an in-flight fill to get():
+// concurrent requests wait on it. The caller must complete it with
+// finish(). Used by warm-up to batch cold keys through one worker
+// pool without losing the single-flight guarantee.
+func (c *cache) claim(k key) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[k]; ok {
+		return nil, false
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[k] = e
+	return e, true
+}
+
+// finish completes a claimed entry, dropping it from the cache on
+// error so later requests retry.
+func (c *cache) finish(k key, e *entry, reps map[string]rep, elapsed time.Duration, err error) {
+	e.reps, e.elapsed, e.err = reps, elapsed, err
+	if err != nil {
+		c.mu.Lock()
+		delete(c.entries, k)
+		c.mu.Unlock()
+	}
+	close(e.done)
+}

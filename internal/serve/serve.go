@@ -1,0 +1,396 @@
+// Package serve exposes the experiment registry over HTTP — the first
+// layer of the system that faces traffic rather than a terminal.
+//
+// Endpoints:
+//
+//	GET /healthz                          liveness probe
+//	GET /experiments                      registry listing
+//	GET /experiments/{id}?scale=quick|full one experiment's results
+//
+// Results are rendered in the content type negotiated via the Accept
+// header — text/plain (the report table format), text/csv, or
+// application/json (structured rows) — all three from a single cached
+// execution per (id, scale). Responses carry strong ETags and honor
+// If-None-Match with 304; a cold (id, scale) requested by N clients
+// concurrently executes the experiment exactly once (single-flight).
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// The three offered content types, in server preference order for
+// wildcard Accept matches. Negotiation compares media types only;
+// the charset parameter rides along on responses.
+const (
+	ctText = "text/plain; charset=utf-8"
+	ctCSV  = "text/csv; charset=utf-8"
+	ctJSON = "application/json"
+)
+
+var offered = []string{ctText, ctJSON, ctCSV}
+
+// Config parameterizes a Server.
+type Config struct {
+	// ScaleLimit is the largest scale the server will run; requests
+	// above it are rejected with 403. The zero value limits the
+	// server to Quick; set Full to also allow paper-scale runs.
+	ScaleLimit core.Scale
+
+	// RunFunc executes one experiment; nil means core.Run. Tests
+	// substitute it to count or stub executions.
+	RunFunc func(core.Experiment, core.Scale) core.Result
+}
+
+// Server is the HTTP results service. It implements http.Handler.
+type Server struct {
+	cfg      Config
+	listReps map[string]rep // registry listing per content type, fixed at init
+	cache    *cache
+	mux      *http.ServeMux
+}
+
+// New builds a Server over the process-wide experiment registry.
+func New(cfg Config) *Server {
+	if cfg.RunFunc == nil {
+		cfg.RunFunc = core.Run
+	}
+	s := &Server{cfg: cfg, listReps: buildListReps(), cache: newCache(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /experiments", s.handleList)
+	s.mux.HandleFunc("GET /experiments/{id}", s.handleGet)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", ctText)
+	fmt.Fprintln(w, "ok")
+}
+
+// listEntry is one row of the JSON registry listing.
+type listEntry struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	Title string `json:"title"`
+}
+
+// buildListReps renders the registry listing in all three content
+// types once — the registry is immutable after init, so the bodies
+// and their ETags never change for the life of the process.
+func buildListReps() map[string]rep {
+	all := core.All()
+
+	entries := make([]listEntry, len(all))
+	for i, e := range all {
+		entries[i] = listEntry{ID: e.ID, Kind: e.Kind, Title: e.Title}
+	}
+	jsonb, _ := json.Marshal(entries)
+	jsonb = append(jsonb, '\n')
+
+	t := report.NewTable("experiments", "id", "kind", "title")
+	for _, e := range all {
+		t.AddRow(e.ID, e.Kind, e.Title)
+	}
+	rec := report.NewRecorder()
+	t.Fprint(rec)
+	var csvb strings.Builder
+	rec.Document().CSV(&csvb)
+
+	return map[string]rep{
+		ctText: {body: rec.Bytes(), etag: etagOf(rec.Bytes())},
+		ctCSV:  {body: []byte(csvb.String()), etag: etagOf([]byte(csvb.String()))},
+		ctJSON: {body: jsonb, etag: etagOf(jsonb)},
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	ct := negotiate(r.Header.Get("Accept"))
+	if ct == "" {
+		http.Error(w, "acceptable types: text/plain, text/csv, application/json", http.StatusNotAcceptable)
+		return
+	}
+	rp := s.listReps[ct]
+	w.Header().Set("Vary", "Accept")
+	w.Header().Set("ETag", rp.etag)
+	if etagMatch(r.Header.Get("If-None-Match"), rp.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Write(rp.body)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := core.Get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusNotFound)
+		return
+	}
+	scale := core.Quick
+	switch v := r.URL.Query().Get("scale"); v {
+	case "", "quick":
+	case "full":
+		scale = core.Full
+	default:
+		http.Error(w, fmt.Sprintf("unknown scale %q (want quick or full)", v), http.StatusBadRequest)
+		return
+	}
+	if scale > s.cfg.ScaleLimit {
+		http.Error(w, fmt.Sprintf("scale %s disabled on this server (limit %s)", scale, s.cfg.ScaleLimit), http.StatusForbidden)
+		return
+	}
+	ct := negotiate(r.Header.Get("Accept"))
+	if ct == "" {
+		http.Error(w, "acceptable types: text/plain, text/csv, application/json", http.StatusNotAcceptable)
+		return
+	}
+
+	ent, err := s.cache.get(key{id, scale}, func() (map[string]rep, time.Duration, error) {
+		return renderResult(s.safeRun(e, scale))
+	})
+	if err != nil {
+		http.Error(w, fmt.Sprintf("experiment %s failed: %v", id, err), http.StatusInternalServerError)
+		return
+	}
+
+	rp := ent.reps[ct]
+	w.Header().Set("Vary", "Accept")
+	w.Header().Set("ETag", rp.etag)
+	w.Header().Set("X-Experiment-Elapsed", ent.elapsed.String())
+	if etagMatch(r.Header.Get("If-None-Match"), rp.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Write(rp.body)
+}
+
+// resultJSON is the JSON envelope for one experiment's results.
+type resultJSON struct {
+	ID             string           `json:"id"`
+	Kind           string           `json:"kind"`
+	Title          string           `json:"title"`
+	Scale          string           `json:"scale"`
+	ElapsedSeconds float64          `json:"elapsed_seconds"`
+	Sections       []report.Section `json:"sections"`
+}
+
+// renderResult turns one captured execution into all three negotiable
+// representations, each with the strong ETag of its exact bytes.
+func renderResult(res core.Result) (map[string]rep, time.Duration, error) {
+	if res.Err != nil {
+		return nil, 0, res.Err
+	}
+	if res.Rec == nil {
+		return nil, 0, fmt.Errorf("run produced no output recorder")
+	}
+	doc := res.Rec.Document()
+
+	text := append([]byte(nil), res.Rec.Bytes()...)
+
+	var csvb strings.Builder
+	if err := doc.CSV(&csvb); err != nil {
+		return nil, 0, err
+	}
+
+	sections := doc.Sections
+	if sections == nil {
+		sections = []report.Section{}
+	}
+	jsonb, err := json.Marshal(resultJSON{
+		ID:             res.Experiment.ID,
+		Kind:           res.Experiment.Kind,
+		Title:          res.Experiment.Title,
+		Scale:          res.Scale.String(),
+		ElapsedSeconds: res.Elapsed.Seconds(),
+		Sections:       sections,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	jsonb = append(jsonb, '\n')
+
+	reps := map[string]rep{
+		ctText: {body: text, etag: etagOf(text)},
+		ctCSV:  {body: []byte(csvb.String()), etag: etagOf([]byte(csvb.String()))},
+		ctJSON: {body: jsonb, etag: etagOf(jsonb)},
+	}
+	return reps, res.Elapsed, nil
+}
+
+// Warm fills the quick-scale cache for the given experiment IDs (nil
+// means every registered experiment) on a core.RunParallel worker
+// pool driven through the server's RunFunc. Cold keys are claimed up
+// front so requests arriving mid-warm wait on the in-flight entry
+// instead of re-running — the single-flight guarantee holds across
+// warm-up and traffic. Already cached or in-flight IDs are skipped.
+// Returns the number of experiments it ran.
+func (s *Server) Warm(ids []string, workers int) int {
+	if ids == nil {
+		for _, e := range core.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	claimed := map[string]*entry{}
+	var cold []string
+	for _, id := range ids {
+		if _, ok := core.Get(id); !ok {
+			continue
+		}
+		if e, ok := s.cache.claim(key{id, core.Quick}); ok {
+			claimed[id] = e
+			cold = append(cold, id)
+		}
+	}
+	if len(cold) == 0 {
+		return 0
+	}
+	// Unknown IDs were filtered above, so the pool cannot fail before
+	// running; each claimed entry is finished as its run completes.
+	// Driving the pool through safeRun keeps warm-up behind the same
+	// wrapper (limits, instrumentation, test stubs) as traffic, with
+	// the same panic containment — and guarantees r.Experiment.ID is
+	// the job's own, so every claimed entry is found and finished.
+	core.RunParallelWith(cold, core.Quick, workers, s.safeRun, func(r core.Result) {
+		k := key{r.Experiment.ID, core.Quick}
+		reps, elapsed, err := renderResult(r)
+		s.cache.finish(k, claimed[r.Experiment.ID], reps, elapsed, err)
+	})
+	return len(cold)
+}
+
+// safeRun drives cfg.RunFunc with the safety net both execution paths
+// need: a panicking run becomes an error Result instead of killing a
+// worker goroutine (and with it the process, on the Warm path), and
+// the job's own identity is stamped on the result so cache keys and
+// JSON envelopes never depend on what a wrapper echoed back.
+func (s *Server) safeRun(e core.Experiment, sc core.Scale) (res core.Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = core.Result{Err: fmt.Errorf("experiment run panicked: %v", r)}
+		}
+		res.Experiment, res.Scale = e, sc
+	}()
+	return s.cfg.RunFunc(e, sc)
+}
+
+// etagOf returns the strong ETag of a representation: the quoted
+// SHA-256 of its exact bytes.
+func etagOf(b []byte) string {
+	return fmt.Sprintf("%q", fmt.Sprintf("%x", sha256.Sum256(b)))
+}
+
+// etagMatch reports whether an If-None-Match header value matches the
+// given ETag. Per RFC 9110 §13.1.2 If-None-Match uses weak
+// comparison: a W/ prefix on the presented validator is ignored.
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, tok := range strings.Split(header, ",") {
+		tok = strings.TrimSpace(tok)
+		tok = strings.TrimPrefix(tok, "W/")
+		if tok == "*" || tok == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// negotiate picks the response content type from an Accept header,
+// honoring q-values and wildcards. An empty header means text/plain;
+// "" is returned when nothing offered is acceptable (406).
+func negotiate(accept string) string {
+	if strings.TrimSpace(accept) == "" {
+		return ctText
+	}
+	// Media types compare case-insensitively (RFC 9110 §12.5.1); the
+	// offered types are already lowercase.
+	accept = strings.ToLower(accept)
+	bestQ := -1.0
+	bestSpec := -1
+	best := ""
+	for _, offer := range offered {
+		media := offer
+		if i := strings.IndexByte(media, ';'); i >= 0 {
+			media = strings.TrimSpace(media[:i])
+		}
+		q, spec := acceptQ(accept, media)
+		// Higher q wins; at equal q a more specific match wins; at
+		// equal specificity the server preference order (offered)
+		// stands.
+		if q > 0 && (q > bestQ || (q == bestQ && spec > bestSpec)) {
+			bestQ, bestSpec, best = q, spec, offer
+		}
+	}
+	return best
+}
+
+// acceptQ returns the quality value the Accept header assigns to a
+// media type, and the specificity of the clause that matched
+// (2 exact, 1 type/*, 0 */*). q is 0 when no clause matches.
+func acceptQ(accept, media string) (q float64, spec int) {
+	typ := media[:strings.IndexByte(media, '/')]
+	spec = -1
+	for _, clause := range strings.Split(accept, ",") {
+		parts := strings.Split(clause, ";")
+		pat := strings.TrimSpace(parts[0])
+		cq := 1.0
+		for _, p := range parts[1:] {
+			p = strings.TrimSpace(p)
+			if v, ok := strings.CutPrefix(p, "q="); ok {
+				if f, err := parseQ(v); err == nil {
+					cq = f
+				}
+			}
+		}
+		var cs int
+		switch pat {
+		case media:
+			cs = 2
+		case typ + "/*":
+			cs = 1
+		case "*/*":
+			cs = 0
+		default:
+			continue
+		}
+		// The most specific matching clause determines q (RFC 9110).
+		if cs > spec {
+			spec, q = cs, cq
+		}
+	}
+	if spec < 0 {
+		return 0, -1
+	}
+	return q, spec
+}
+
+// parseQ parses a qvalue (0 to 1, up to three decimals).
+func parseQ(s string) (float64, error) {
+	var f float64
+	if _, err := fmt.Sscanf(s, "%f", &f); err != nil {
+		return 0, err
+	}
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f, nil
+}

@@ -1,0 +1,460 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// doGet performs a GET with optional Accept and If-None-Match headers
+// and returns the response with its body read.
+func doGet(t *testing.T, url, accept, ifNoneMatch string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, body := doGet(t, ts.URL+"/healthz", "", "")
+	if resp.StatusCode != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("healthz: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestListJSON(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, body := doGet(t, ts.URL+"/experiments", "application/json", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("list: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Content-Type"); got != ctJSON {
+		t.Errorf("content type %q", got)
+	}
+	var list []listEntry
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(list) != len(core.All()) {
+		t.Errorf("listed %d experiments, registry has %d", len(list), len(core.All()))
+	}
+	found := false
+	for _, e := range list {
+		if e.ID == "T1" && e.Kind == "table" && e.Title != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("T1 missing from listing")
+	}
+}
+
+func TestListTextAndCSV(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, body := doGet(t, ts.URL+"/experiments", "", "")
+	if resp.StatusCode != 200 || !strings.Contains(body, "== experiments ==") {
+		t.Errorf("text list: %d %q", resp.StatusCode, body[:min(len(body), 80)])
+	}
+	resp, body = doGet(t, ts.URL+"/experiments", "text/csv", "")
+	if resp.StatusCode != 200 || !strings.Contains(body, "id,kind,title") {
+		t.Errorf("csv list: %d %q", resp.StatusCode, body[:min(len(body), 80)])
+	}
+}
+
+func TestGetTextDefault(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, body := doGet(t, ts.URL+"/experiments/T1", "", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("get T1: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Content-Type"); got != ctText {
+		t.Errorf("content type %q", got)
+	}
+	if !strings.Contains(body, "ib-8n") {
+		t.Errorf("T1 text missing platform rows: %q", body)
+	}
+	if resp.Header.Get("ETag") == "" {
+		t.Error("no ETag on result")
+	}
+	if resp.Header.Get("X-Experiment-Elapsed") == "" {
+		t.Error("no elapsed header")
+	}
+}
+
+func TestGetNegotiation(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	resp, body := doGet(t, ts.URL+"/experiments/T1?scale=quick", "application/json", "")
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != ctJSON {
+		t.Fatalf("json get: %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	var doc resultJSON
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("bad result JSON: %v", err)
+	}
+	if doc.ID != "T1" || doc.Scale != "quick" || len(doc.Sections) == 0 {
+		t.Errorf("result JSON wrong: id=%s scale=%s sections=%d", doc.ID, doc.Scale, len(doc.Sections))
+	}
+	if len(doc.Sections[0].Rows) == 0 {
+		t.Error("result JSON has no rows")
+	}
+
+	resp, body = doGet(t, ts.URL+"/experiments/T1", "text/csv", "")
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != ctCSV {
+		t.Fatalf("csv get: %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(body, "# ") || !strings.Contains(body, ",") {
+		t.Errorf("csv body looks wrong: %q", body[:min(len(body), 120)])
+	}
+
+	// q-values: prefer csv over plain when the client says so.
+	resp, _ = doGet(t, ts.URL+"/experiments/T1", "text/plain;q=0.3, text/csv", "")
+	if resp.Header.Get("Content-Type") != ctCSV {
+		t.Errorf("q-value negotiation chose %q, want csv", resp.Header.Get("Content-Type"))
+	}
+
+	// Wildcard falls back to the server preference, text/plain.
+	resp, _ = doGet(t, ts.URL+"/experiments/T1", "*/*", "")
+	if resp.Header.Get("Content-Type") != ctText {
+		t.Errorf("*/* chose %q, want text", resp.Header.Get("Content-Type"))
+	}
+
+	// Nothing acceptable -> 406.
+	resp, _ = doGet(t, ts.URL+"/experiments/T1", "image/png", "")
+	if resp.StatusCode != http.StatusNotAcceptable {
+		t.Errorf("image/png got %d, want 406", resp.StatusCode)
+	}
+}
+
+func TestETagRoundTrip(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, body := doGet(t, ts.URL+"/experiments/T4", "application/json", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("get: %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if !strings.HasPrefix(etag, `"`) || !strings.HasSuffix(etag, `"`) {
+		t.Fatalf("ETag not a quoted strong validator: %q", etag)
+	}
+
+	// Matching If-None-Match -> 304 with no body, ETag still present.
+	resp, body = doGet(t, ts.URL+"/experiments/T4", "application/json", etag)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("If-None-Match match got %d, want 304", resp.StatusCode)
+	}
+	if body != "" {
+		t.Errorf("304 carried a body: %q", body)
+	}
+	if resp.Header.Get("ETag") != etag {
+		t.Errorf("304 lost the ETag")
+	}
+
+	// If-None-Match uses weak comparison: a weakened validator with
+	// the same opaque tag still revalidates (RFC 9110 §13.1.2).
+	resp, _ = doGet(t, ts.URL+"/experiments/T4", "application/json", "W/"+etag)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("weak If-None-Match got %d, want 304", resp.StatusCode)
+	}
+
+	// A stale validator still gets the full response.
+	resp, body = doGet(t, ts.URL+"/experiments/T4", "application/json", `"deadbeef"`)
+	if resp.StatusCode != 200 || body == "" {
+		t.Errorf("stale If-None-Match got %d", resp.StatusCode)
+	}
+
+	// Different representations have different ETags.
+	respText, _ := doGet(t, ts.URL+"/experiments/T4", "text/plain", "")
+	if respText.Header.Get("ETag") == etag {
+		t.Error("text and JSON share an ETag")
+	}
+
+	// A repeat request is a cache hit with the same validator.
+	resp, _ = doGet(t, ts.URL+"/experiments/T4", "application/json", "")
+	if resp.Header.Get("ETag") != etag {
+		t.Error("cached result changed its ETag")
+	}
+}
+
+func TestUnknownExperiment404(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, _ := doGet(t, ts.URL+"/experiments/Z9", "", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown ID got %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestBadScale400(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, _ := doGet(t, ts.URL+"/experiments/T1?scale=huge", "", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad scale got %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestScaleLimit403(t *testing.T) {
+	// Default config limits the server to quick scale.
+	ts := newTestServer(t, Config{})
+	resp, body := doGet(t, ts.URL+"/experiments/T1?scale=full", "", "")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("full on quick-limited server got %d, want 403: %s", resp.StatusCode, body)
+	}
+}
+
+// stubRun returns a RunFunc that counts executions and sleeps long
+// enough for concurrent requests to pile onto a cold cache entry.
+func stubRun(runs *atomic.Int32, delay time.Duration) func(core.Experiment, core.Scale) core.Result {
+	return func(e core.Experiment, s core.Scale) core.Result {
+		runs.Add(1)
+		time.Sleep(delay)
+		rec := report.NewRecorder()
+		tbl := report.NewTable("stub", "k", "v")
+		tbl.AddRow("answer", 42)
+		tbl.Fprint(rec)
+		return core.Result{Experiment: e, Scale: s, Rec: rec, Elapsed: delay}
+	}
+}
+
+func TestSingleFlight(t *testing.T) {
+	var runs atomic.Int32
+	ts := newTestServer(t, Config{RunFunc: stubRun(&runs, 50*time.Millisecond)})
+
+	const clients = 12
+	etags := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := doGet(t, ts.URL+"/experiments/T1", "", "")
+			if resp.StatusCode != 200 || !strings.Contains(body, "answer") {
+				t.Errorf("client %d: %d %q", i, resp.StatusCode, body)
+			}
+			etags[i] = resp.Header.Get("ETag")
+		}(i)
+	}
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Errorf("cold cache ran the experiment %d times, want exactly 1", got)
+	}
+	for i := 1; i < clients; i++ {
+		if etags[i] != etags[0] {
+			t.Errorf("client %d saw a different ETag", i)
+		}
+	}
+
+	// Distinct scales are distinct cache keys... but full is limited;
+	// a second id instead.
+	doGet(t, ts.URL+"/experiments/T4", "", "")
+	if got := runs.Load(); got != 2 {
+		t.Errorf("second id reused the first id's cache entry (runs=%d)", got)
+	}
+}
+
+func TestFailedRunNotCached(t *testing.T) {
+	var runs atomic.Int32
+	fail := true
+	var mu sync.Mutex
+	cfg := Config{RunFunc: func(e core.Experiment, s core.Scale) core.Result {
+		runs.Add(1)
+		mu.Lock()
+		f := fail
+		mu.Unlock()
+		r := core.Run(e, s)
+		if f {
+			r.Err = io.ErrUnexpectedEOF
+		}
+		return r
+	}}
+	ts := newTestServer(t, cfg)
+
+	resp, _ := doGet(t, ts.URL+"/experiments/T1", "", "")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failed run got %d, want 500", resp.StatusCode)
+	}
+	mu.Lock()
+	fail = false
+	mu.Unlock()
+	resp, _ = doGet(t, ts.URL+"/experiments/T1", "", "")
+	if resp.StatusCode != 200 {
+		t.Errorf("retry after failure got %d, want 200", resp.StatusCode)
+	}
+	if runs.Load() != 2 {
+		t.Errorf("expected the failure not to be cached (runs=%d)", runs.Load())
+	}
+}
+
+func TestPanickingRunDoesNotWedgeCache(t *testing.T) {
+	// A fill that panics must complete the cache entry (as an error)
+	// rather than leaving every future request blocked on it.
+	var runs atomic.Int32
+	cfg := Config{RunFunc: func(e core.Experiment, s core.Scale) core.Result {
+		if runs.Add(1) == 1 {
+			panic("experiment blew up")
+		}
+		return core.Run(e, s)
+	}}
+	ts := newTestServer(t, cfg)
+
+	resp, body := doGet(t, ts.URL+"/experiments/T1", "", "")
+	if resp.StatusCode != http.StatusInternalServerError || !strings.Contains(body, "panicked") {
+		t.Fatalf("panicking run got %d %q, want 500 mentioning the panic", resp.StatusCode, body)
+	}
+	// The failed fill was dropped, so a retry runs and succeeds.
+	resp, _ = doGet(t, ts.URL+"/experiments/T1", "", "")
+	if resp.StatusCode != 200 {
+		t.Errorf("request after panic got %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestWarmSurvivesPanicAndSparseStubs(t *testing.T) {
+	// A panicking run during warm-up must not kill the process, and a
+	// stub RunFunc that doesn't echo back Result.Experiment must
+	// still land in the right cache slot.
+	var runs atomic.Int32
+	srv := New(Config{RunFunc: func(e core.Experiment, s core.Scale) core.Result {
+		if runs.Add(1) == 1 {
+			panic("warm-up blew up")
+		}
+		rec := report.NewRecorder()
+		tbl := report.NewTable("sparse", "k", "v")
+		tbl.AddRow("answer", 42)
+		tbl.Fprint(rec)
+		return core.Result{Rec: rec} // no Experiment/Scale stamped
+	}})
+	// One worker makes the panicking run deterministic: it is T1's.
+	if n := srv.Warm([]string{"T1", "T4"}, 1); n != 2 {
+		t.Errorf("Warm ran %d, want 2", n)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// T4's sparse-stub result was cached under the right key.
+	resp, body := doGet(t, ts.URL+"/experiments/T4", "", "")
+	if resp.StatusCode != 200 || !strings.Contains(body, "answer") {
+		t.Errorf("sparse-stub warm result not served: %d %q", resp.StatusCode, body)
+	}
+	// T1's panicking fill was dropped; the retry runs the stub again.
+	resp, body = doGet(t, ts.URL+"/experiments/T1", "", "")
+	if resp.StatusCode != 200 || !strings.Contains(body, "answer") {
+		t.Errorf("retry after warm panic: %d %q", resp.StatusCode, body)
+	}
+	// The envelope identity comes from the job, not the stub.
+	_, jbody := doGet(t, ts.URL+"/experiments/T4", "application/json", "")
+	var doc resultJSON
+	if err := json.Unmarshal([]byte(jbody), &doc); err != nil {
+		t.Fatalf("bad result JSON: %v", err)
+	}
+	if doc.ID != "T4" || doc.Scale != "quick" {
+		t.Errorf("envelope identity = %s/%s, want T4/quick", doc.ID, doc.Scale)
+	}
+}
+
+func TestWarmFillsCache(t *testing.T) {
+	srv := New(Config{})
+	n := srv.Warm([]string{"T1", "T4"}, 2)
+	if n != 2 {
+		t.Errorf("Warm ran %d, want 2", n)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := doGet(t, ts.URL+"/experiments/T1", "", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("warmed get: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "ib-8n") {
+		t.Errorf("warmed body is not the real T1 output: %q", body[:min(len(body), 80)])
+	}
+
+	// Re-warming the same ids is a no-op.
+	if n := srv.Warm([]string{"T1", "T4"}, 2); n != 0 {
+		t.Errorf("re-warm ran %d experiments, want 0", n)
+	}
+}
+
+func TestWarmUsesCustomRunFunc(t *testing.T) {
+	// A custom RunFunc (limits, instrumentation, stubs) must produce
+	// the warmed results too, so the cache never holds output the
+	// wrapper didn't make.
+	var runs atomic.Int32
+	srv := New(Config{RunFunc: stubRun(&runs, 0)})
+	if n := srv.Warm([]string{"T1", "T4"}, 2); n != 2 {
+		t.Errorf("Warm ran %d, want 2", n)
+	}
+	if runs.Load() != 2 {
+		t.Errorf("warm-up drove the custom RunFunc %d times, want 2", runs.Load())
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := doGet(t, ts.URL+"/experiments/T1", "", "")
+	if resp.StatusCode != 200 || !strings.Contains(body, "answer") {
+		t.Errorf("warmed get did not serve the stub result: %d %q", resp.StatusCode, body)
+	}
+	if runs.Load() != 2 {
+		t.Errorf("warmed request re-ran the experiment (runs=%d)", runs.Load())
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   string
+	}{
+		{"", ctText},
+		{"text/plain", ctText},
+		{"application/json", ctJSON},
+		{"text/csv", ctCSV},
+		{"*/*", ctText},
+		{"text/*", ctText},
+		{"application/*", ctJSON},
+		{"text/html", ""},
+		{"text/html, */*;q=0.1", ctText},
+		{"text/csv;q=0.9, application/json", ctJSON},
+		{"text/plain;q=0, application/json", ctJSON},
+		{"application/json;q=0.4, text/csv;q=0.5", ctCSV},
+		// Media types compare case-insensitively (RFC 9110 §12.5.1).
+		{"Application/JSON", ctJSON},
+		{"TEXT/CSV", ctCSV},
+	}
+	for _, c := range cases {
+		if got := negotiate(c.accept); got != c.want {
+			t.Errorf("negotiate(%q) = %q, want %q", c.accept, got, c.want)
+		}
+	}
+}
