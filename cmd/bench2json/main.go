@@ -1,0 +1,139 @@
+// Command bench2json converts `go test -bench` text output on stdin
+// into a JSON benchmark record on stdout — the format CI uploads as a
+// BENCH_*.json artifact so per-PR timings accumulate into a perf
+// trajectory.
+//
+//	go test -bench 'Benchmark(T1|M3|M4)' -benchtime=1x -benchmem -run '^$' . | bench2json > BENCH_pr.json
+//
+// Each benchmark line becomes {name, procs, iterations, ns_per_op,
+// bytes_per_op, allocs_per_op}; the goos/goarch/pkg/cpu header lines
+// are carried in the envelope. Non-benchmark lines (PASS, ok, logs)
+// are ignored. Exits non-zero if no benchmark lines were found, so a
+// silently empty artifact fails the job instead of uploading nothing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Record is the whole JSON document: the platform header go test
+// prints plus every benchmark line.
+type Record struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rec, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rec.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output and collects the header fields
+// and benchmark lines.
+func parse(r io.Reader) (*Record, error) {
+	rec := &Record{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rec.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rec.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rec.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rec.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if ok {
+				rec.Benchmarks = append(rec.Benchmarks, b)
+			}
+		}
+	}
+	return rec, sc.Err()
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkT1PlatformTable-8  1  12345678 ns/op  4096 B/op  12 allocs/op
+//
+// Lines that start with "Benchmark" but don't parse (a benchmark's
+// own log output, say) are skipped, not fatal.
+func parseBenchLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 3 {
+		return Benchmark{}, false
+	}
+	name, procs := splitProcs(f[0])
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters}
+	ok := false
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+			ok = true
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		}
+	}
+	return b, ok
+}
+
+// splitProcs splits "BenchmarkFoo-8" into ("BenchmarkFoo", 8). A name
+// without the GOMAXPROCS suffix reports procs 1.
+func splitProcs(s string) (string, int) {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return s, 1
+	}
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil || n <= 0 {
+		return s, 1
+	}
+	return s[:i], n
+}

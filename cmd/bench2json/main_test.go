@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU @ 2.20GHz
+BenchmarkT1PlatformTable-8   	       1	  12345678 ns/op	  409600 B/op	    1234 allocs/op
+BenchmarkM3PageSizeTable-8   	       1	   2345678 ns/op	   81920 B/op	     456 allocs/op
+BenchmarkM4HierarchyFit      	       2	   1000000 ns/op
+some benchmark log line that is not a result
+BenchmarkBroken-8 this line does not parse
+PASS
+ok  	repro	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rec, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.GOOS != "linux" || rec.GOARCH != "amd64" || rec.Pkg != "repro" {
+		t.Errorf("header = %s/%s/%s", rec.GOOS, rec.GOARCH, rec.Pkg)
+	}
+	if !strings.Contains(rec.CPU, "Xeon") {
+		t.Errorf("cpu = %q", rec.CPU)
+	}
+	if len(rec.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rec.Benchmarks), rec.Benchmarks)
+	}
+
+	b := rec.Benchmarks[0]
+	if b.Name != "BenchmarkT1PlatformTable" || b.Procs != 8 || b.Iterations != 1 {
+		t.Errorf("first bench identity: %+v", b)
+	}
+	if b.NsPerOp != 12345678 || b.BytesPerOp != 409600 || b.AllocsPerOp != 1234 {
+		t.Errorf("first bench metrics: %+v", b)
+	}
+
+	// No -benchmem columns and no procs suffix still parse.
+	b = rec.Benchmarks[2]
+	if b.Name != "BenchmarkM4HierarchyFit" || b.Procs != 1 || b.Iterations != 2 || b.NsPerOp != 1e6 {
+		t.Errorf("bare bench: %+v", b)
+	}
+	if b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
+		t.Errorf("bare bench has phantom memstats: %+v", b)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	rec, err := parse(strings.NewReader("PASS\nok\trepro\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from empty run", len(rec.Benchmarks))
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo", "BenchmarkFoo", 1},
+		{"BenchmarkFoo-bar", "BenchmarkFoo-bar", 1},
+		{"BenchmarkSub/case-4", "BenchmarkSub/case", 4},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = %q,%d want %q,%d", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}

@@ -15,6 +15,13 @@
 // stays in registry order. A failed experiment no longer aborts the
 // run: the rest still execute, errors are collected, and the exit
 // status is non-zero at the end.
+//
+// With -cache-dir, runs share the daemon's disk-persistent results
+// cache: an experiment already in the store is replayed instead of
+// re-executed (its header says "cached" and shows the original run's
+// wall time), and fresh runs are written through for later CLI or
+// charhpcd use. The store self-invalidates when the binary or the
+// registry changes.
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diskcache"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -34,6 +43,7 @@ func main() {
 	listFlag := flag.Bool("list", false, "list experiments and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 	jFlag := flag.Int("j", 1, "worker pool size: run up to j experiments concurrently")
+	cacheDir := flag.String("cache-dir", "", "share the disk-persistent results cache (see charhpcd)")
 	flag.Parse()
 
 	if *listFlag {
@@ -81,6 +91,16 @@ func main() {
 		}
 	}
 
+	var store *diskcache.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = diskcache.Open(*cacheDir, core.Fingerprint(), 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "charhpc: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	// Run on the worker pool, but print in registry order as results
 	// land: slot i's channel is filled whenever experiment i finishes,
 	// and the main goroutine drains the slots in order. Output is
@@ -94,9 +114,35 @@ func main() {
 	for i, id := range ids {
 		index[id] = i
 	}
+
+	// With a store, cached experiments replay without running — their
+	// slot is filled up front from disk — and only the misses go to
+	// the pool, which writes fresh results through for next time.
+	cached := make([]bool, len(ids))
+	toRun := ids
+	if store != nil {
+		toRun = nil
+		for i, id := range ids {
+			e, _ := core.Get(id)
+			if r, ok := serve.LoadResult(store, e, scale); ok {
+				cached[i] = true
+				slots[i] <- r
+				continue
+			}
+			toRun = append(toRun, id)
+		}
+	}
 	go func() {
+		if len(toRun) == 0 {
+			return
+		}
 		// IDs were validated above, so the pool cannot fail early.
-		if err := core.RunParallelFunc(ids, scale, *jFlag, func(r core.Result) {
+		if err := core.RunParallelFunc(toRun, scale, *jFlag, func(r core.Result) {
+			if store != nil && r.Err == nil {
+				if err := serve.StoreResult(store, r); err != nil {
+					fmt.Fprintf(os.Stderr, "charhpc: cache write %s: %v\n", r.Experiment.ID, err)
+				}
+			}
 			slots[index[r.Experiment.ID]] <- r
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "charhpc: %v\n", err)
@@ -108,8 +154,12 @@ func main() {
 	for i := range slots {
 		r := <-slots[i]
 		e := r.Experiment
-		fmt.Printf("\n### %s (%s): %s  [%s]\n", e.ID, e.Kind, e.Title,
-			r.Elapsed.Round(time.Millisecond))
+		mark := ""
+		if cached[i] {
+			mark = ", cached"
+		}
+		fmt.Printf("\n### %s (%s): %s  [%s%s]\n", e.ID, e.Kind, e.Title,
+			r.Elapsed.Round(time.Millisecond), mark)
 		os.Stdout.Write(r.Rec.Bytes())
 		bad := false
 		if r.Err != nil {

@@ -1,12 +1,18 @@
 // Command charhpcd serves the characterization's experiment registry
 // over HTTP: cached, content-negotiated results with ETags, filled by
-// a parallel warm-up at startup (see internal/serve).
+// a parallel warm-up at startup (see internal/serve). With -cache-dir
+// the results cache persists across restarts: filled entries are
+// written through to disk, a restart warms from disk without
+// re-running, and the store self-invalidates when the binary or the
+// registry changes (see internal/diskcache). charhpc -cache-dir
+// shares the same store.
 //
 // Usage:
 //
 //	charhpcd                               # :8080, warm quick cache
 //	charhpcd -addr :9090 -j 8              # custom port, 8 warm workers
 //	charhpcd -warm=false -scale-limit full # cold start, allow full runs
+//	charhpcd -cache-dir /var/cache/charhpc -cache-max-bytes 67108864
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diskcache"
 	"repro/internal/serve"
 )
 
@@ -31,6 +38,8 @@ func main() {
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "warm-up worker pool size")
 	warm := flag.Bool("warm", true, "fill the quick-scale cache in the background at startup")
 	scaleLimit := flag.String("scale-limit", "quick", "largest scale served: quick or full")
+	cacheDir := flag.String("cache-dir", "", "persist the results cache under this directory (empty = memory only)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this many bytes (0 = unbounded)")
 	flag.Parse()
 
 	var limit core.Scale
@@ -44,14 +53,42 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := serve.New(serve.Config{ScaleLimit: limit})
+	var store *diskcache.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = diskcache.Open(*cacheDir, core.Fingerprint(), *cacheMax)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "charhpcd: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("charhpcd: results cache at %s (%d entries, fingerprint %.12s…)",
+			store.Dir(), store.Len(), store.Fingerprint())
+	}
+
+	srv := serve.New(serve.Config{ScaleLimit: limit, Store: store})
+
+	// The signal context is created before the warm-up starts so a
+	// SIGINT mid-warm cancels pending jobs instead of letting the
+	// pool run to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	warmDone := make(chan struct{})
 	if *warm {
 		go func() {
+			defer close(warmDone)
 			t0 := time.Now()
-			n := srv.Warm(nil, *workers)
-			log.Printf("charhpcd: warmed %d quick-scale results in %s (%d workers)",
-				n, time.Since(t0).Round(time.Millisecond), *workers)
+			n := srv.Warm(ctx, nil, *workers)
+			st := srv.Stats()
+			if ctx.Err() != nil {
+				log.Printf("charhpcd: warm-up canceled after %d run(s)", n)
+				return
+			}
+			log.Printf("charhpcd: warmed quick-scale cache in %s (%d run, %d loaded from disk, %d workers)",
+				time.Since(t0).Round(time.Millisecond), n, st.DiskLoads, *workers)
 		}()
+	} else {
+		close(warmDone)
 	}
 
 	// No WriteTimeout: a full-scale experiment legitimately holds a
@@ -63,8 +100,6 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
@@ -78,11 +113,20 @@ func main() {
 			log.Fatalf("charhpcd: %v", err)
 		}
 	case <-ctx.Done():
+		// Restore default signal disposition right away: a second
+		// SIGINT force-kills instead of being swallowed while the
+		// graceful path waits out in-flight work.
+		stop()
 		log.Printf("charhpcd: shutting down")
 		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shctx); err != nil {
 			log.Printf("charhpcd: shutdown: %v", err)
 		}
+		// Wait for the warm-up to observe the cancellation: pending
+		// jobs are skipped, so this blocks at most for the in-flight
+		// runs — not the rest of the pool — and cache writes settle
+		// before exit.
+		<-warmDone
 	}
 }

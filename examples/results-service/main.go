@@ -1,20 +1,26 @@
 // Results-service walk-through: start the HTTP results service
 // in-process, then act as a client against it — list the registry,
-// fetch one experiment in all three negotiated content types, and
-// revalidate with If-None-Match to get a 304 off the cache.
+// fetch one experiment in all three negotiated content types,
+// revalidate with If-None-Match to get a 304 off the cache, and
+// finally restart the service over a disk-persistent cache to show a
+// warm start that serves without re-running a single experiment.
 //
 //	go run ./examples/results-service
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 
+	"repro/internal/core"
+	"repro/internal/diskcache"
 	"repro/internal/serve"
 )
 
@@ -28,7 +34,7 @@ func main() {
 
 	// Warm the cache for the experiment we are about to fetch, the
 	// way charhpcd warms the whole registry at startup.
-	n := srv.Warm([]string{"T1"}, 2)
+	n := srv.Warm(context.Background(), []string{"T1"}, 2)
 	fmt.Printf("warm-up ran %d experiment(s)\n\n", n)
 
 	// 1. Liveness.
@@ -96,6 +102,45 @@ func main() {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	fmt.Printf("revalidating GET with If-None-Match: %s\n", resp.Status)
+
+	// 5. Disk persistence: the same service over a diskcache.Store
+	// survives a restart — the second "process" warms entirely from
+	// disk, runs nothing, and serves the same ETag.
+	dir, err := os.MkdirTemp("", "charhpc-cache-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fp := core.Fingerprint()
+
+	store, err := diskcache.Open(dir, fp, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	first := serve.New(serve.Config{Store: store})
+	first.Warm(context.Background(), []string{"T1"}, 2)
+	ts1 := httptest.NewServer(first)
+	_, hdr := get(ts1.URL+"/experiments/T1?scale=quick", "application/json")
+	etag1 := hdr.Get("ETag")
+	ts1.Close()
+	fmt.Printf("\nfirst daemon with -cache-dir: ran %d, persisted %d entries, ETag %s...\n",
+		first.Stats().Runs, store.Len(), etag1[:10])
+
+	// "Restart": a fresh store handle and server over the same dir.
+	store2, err := diskcache.Open(dir, fp, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	second := serve.New(serve.Config{Store: store2})
+	second.Warm(context.Background(), []string{"T1"}, 2)
+	ts2 := httptest.NewServer(second)
+	defer ts2.Close()
+	_, hdr = get(ts2.URL+"/experiments/T1?scale=quick", "application/json")
+	st := second.Stats()
+	fmt.Printf("restarted daemon: runs=%d disk_loads=%d, ETag identical: %v\n",
+		st.Runs, st.DiskLoads, hdr.Get("ETag") == etag1)
+	body, _ = get(ts2.URL+"/healthz", "")
+	fmt.Printf("GET /healthz -> %s", body)
 }
 
 // get fetches a URL with an optional Accept header and returns the

@@ -1,0 +1,47 @@
+// Registry fingerprinting: a stable identity for "this binary serving
+// this registry", used by the disk-backed results cache to
+// self-invalidate when either changes (see internal/diskcache).
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Fingerprint hashes the build identity of the running binary together
+// with the shape of the experiment registry — the sorted experiment
+// (ID, kind, title) triples and the scale definitions. Two processes
+// share a fingerprint exactly when they were built from the same code
+// and register the same experiments, which is the precondition for
+// trusting each other's cached results.
+//
+// Build identity comes from runtime/debug.ReadBuildInfo: the main
+// module's path/version/sum and the VCS revision/time/dirty-flag
+// stamped into `go build` binaries, plus the Go toolchain version and
+// target platform. Binaries built without VCS stamping (go test, go
+// run of a dirty tree) still differ once the registry or toolchain
+// does; the registry hash is what guards the dominant failure mode —
+// an experiment's identity or set changing between writer and reader.
+func Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintln(h, "fingerprint/v1")
+	fmt.Fprintln(h, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		fmt.Fprintln(h, bi.Main.Path, bi.Main.Version, bi.Main.Sum)
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision", "vcs.time", "vcs.modified", "-tags":
+				fmt.Fprintln(h, s.Key, s.Value)
+			}
+		}
+	}
+	for _, e := range All() {
+		fmt.Fprintln(h, e.ID, e.Kind, e.Title)
+	}
+	for _, s := range []Scale{Quick, Full} {
+		fmt.Fprintln(h, int(s), s.String())
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}

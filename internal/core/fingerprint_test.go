@@ -1,0 +1,43 @@
+package core
+
+import (
+	"regexp"
+	"testing"
+)
+
+func TestFingerprintStableWithinProcess(t *testing.T) {
+	a, b := Fingerprint(), Fingerprint()
+	if a != b {
+		t.Errorf("Fingerprint not stable: %s vs %s", a, b)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(a) {
+		t.Errorf("Fingerprint %q is not a hex SHA-256", a)
+	}
+}
+
+func TestFingerprintTracksRegistry(t *testing.T) {
+	before := Fingerprint()
+
+	// Grow the registry: the fingerprint must change, because a cache
+	// written by a binary with a different experiment set cannot be
+	// trusted.
+	const id = "ZZ99-fingerprint-test"
+	registry[id] = Experiment{ID: id, Kind: "table", Title: "fingerprint probe"}
+	defer delete(registry, id)
+	grown := Fingerprint()
+	if grown == before {
+		t.Error("Fingerprint unchanged after adding an experiment")
+	}
+
+	// A title change alone must also shift it — same IDs, different
+	// meaning.
+	registry[id] = Experiment{ID: id, Kind: "table", Title: "different title"}
+	if retitled := Fingerprint(); retitled == grown {
+		t.Error("Fingerprint unchanged after retitling an experiment")
+	}
+
+	delete(registry, id)
+	if after := Fingerprint(); after != before {
+		t.Errorf("Fingerprint not restored after registry restore: %s vs %s", after, before)
+	}
+}

@@ -1,0 +1,371 @@
+// Package diskcache persists filled experiment results between
+// process restarts — the disk layer under internal/serve's in-memory
+// cache, shared by the charhpcd daemon and charhpc CLI runs.
+//
+// A Store is a flat directory of entry files, one per
+// (experiment id, scale, content type), each carrying the rendered
+// body, its strong ETag, the run's wall time, and the registry
+// fingerprint of the binary that wrote it. Correctness properties:
+//
+//   - Crash safety: entries are written to a temp file, fsynced, and
+//     renamed into place, so readers only ever see whole entries.
+//   - Corrupt-entry recovery: every body is checksummed at write time;
+//     a truncated or bit-rotted file fails validation on Get, is
+//     deleted, and reads as a miss (the caller re-runs and re-writes).
+//   - Self-invalidation: Open purges the directory when the stored
+//     fingerprint differs from the caller's, and Get rejects entries
+//     whose embedded fingerprint differs — stale results from an older
+//     binary or registry shape can never be served.
+//   - Bounded size: with a positive maxBytes budget, Put evicts the
+//     least-recently-used (id, scale) groups (Get touches the file's
+//     mtime; a group is as recent as its newest member) until the
+//     directory fits. Whole groups, because callers read one result's
+//     representations all-or-nothing — a partially evicted set could
+//     never serve while still consuming budget.
+//
+// Multiple processes may share one directory: atomic renames make
+// concurrent writers last-one-wins per key, and validation makes
+// concurrent eviction or purging read as misses, never errors.
+package diskcache
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	entryExt = ".entry"
+	fpFile   = "FINGERPRINT"
+)
+
+// Key identifies one persisted representation: which experiment, at
+// which scale, rendered as which media type (e.g. "text/plain").
+type Key struct {
+	ID          string
+	Scale       string
+	ContentType string
+}
+
+// Entry is one persisted representation: the rendered body, the strong
+// ETag of exactly those bytes, and the wall time of the execution that
+// produced them. RunID is an opaque caller-chosen stamp shared by all
+// entries of one execution; callers persisting several entries per
+// logical result use it to reject mixed sets after concurrent
+// last-writer-wins races (the store itself does not interpret it).
+type Entry struct {
+	ETag    string
+	RunID   string
+	Elapsed time.Duration
+	Body    []byte
+}
+
+// fileEntry is the on-disk JSON form of an Entry plus everything
+// needed to validate it independently of the caller: its own key (so
+// a renamed file can't impersonate another), the writer's fingerprint,
+// and a body checksum.
+type fileEntry struct {
+	Fingerprint string `json:"fingerprint"`
+	ID          string `json:"id"`
+	Scale       string `json:"scale"`
+	ContentType string `json:"content_type"`
+	ETag        string `json:"etag"`
+	RunID       string `json:"run_id,omitempty"`
+	ElapsedNS   int64  `json:"elapsed_ns"`
+	SHA256      string `json:"sha256"`
+	Body        []byte `json:"body"`
+}
+
+// Store is a disk-backed entry cache rooted at one directory. Safe for
+// concurrent use by multiple goroutines and, via atomic renames and
+// per-entry validation, by multiple processes sharing the directory.
+type Store struct {
+	dir      string
+	fp       string
+	maxBytes int64
+	mu       sync.Mutex // serializes in-process eviction scans
+}
+
+// Open roots a Store at dir (created if absent) for a binary with the
+// given registry fingerprint. If the directory was last written under
+// a different fingerprint, every entry is purged — the whole store
+// self-invalidates when the code or registry changes. A positive
+// maxBytes bounds the total entry size via LRU eviction; 0 means
+// unbounded.
+func Open(dir, fingerprint string, maxBytes int64) (*Store, error) {
+	if fingerprint == "" {
+		return nil, fmt.Errorf("diskcache: empty fingerprint")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	st := &Store{dir: dir, fp: fingerprint, maxBytes: maxBytes}
+	st.sweepTemps()
+	prev, err := os.ReadFile(filepath.Join(dir, fpFile))
+	switch {
+	case err == nil && string(prev) == fingerprint:
+		// Same writer generation: keep the entries.
+	default:
+		// New directory or a fingerprint change: start empty.
+		if err := st.Purge(); err != nil {
+			return nil, err
+		}
+		if err := st.writeFile(fpFile, []byte(fingerprint)); err != nil {
+			return nil, err
+		}
+	}
+	st.evict()
+	return st, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Fingerprint returns the registry fingerprint the store validates
+// entries against.
+func (st *Store) Fingerprint() string { return st.fp }
+
+// Get loads the entry for k. Missing, corrupt (failed checksum or
+// parse), mismatched-key, or stale-fingerprint files all read as a
+// miss; invalid files are deleted so the slot heals on the next Put.
+// A hit refreshes the file's access time for LRU eviction.
+func (st *Store) Get(k Key) (Entry, bool) {
+	path := filepath.Join(st.dir, entryName(k))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Entry{}, false
+	}
+	var f fileEntry
+	if err := json.Unmarshal(b, &f); err != nil {
+		os.Remove(path)
+		return Entry{}, false
+	}
+	if f.Fingerprint != st.fp {
+		// A miss, but NOT a delete: in a shared directory this may be
+		// another (newer) binary's perfectly valid entry — destroying
+		// it would discard that writer's completed runs. Stale files
+		// of a retired generation are purged by the next Open.
+		return Entry{}, false
+	}
+	if f.ID != k.ID || f.Scale != k.Scale || f.ContentType != k.ContentType ||
+		f.SHA256 != bodySum(f.Body) {
+		// Corrupt or misnamed: valid for nobody, so deleting heals
+		// the slot for every sharer.
+		os.Remove(path)
+		return Entry{}, false
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) // best-effort LRU touch
+	return Entry{ETag: f.ETag, RunID: f.RunID, Elapsed: time.Duration(f.ElapsedNS), Body: f.Body}, true
+}
+
+// Put persists the entry for k atomically (temp file + fsync +
+// rename), then evicts least-recently-used entries if the directory
+// exceeds the size budget. The just-written entry is never evicted by
+// its own Put.
+func (st *Store) Put(k Key, e Entry) error {
+	f := fileEntry{
+		Fingerprint: st.fp,
+		ID:          k.ID,
+		Scale:       k.Scale,
+		ContentType: k.ContentType,
+		ETag:        e.ETag,
+		RunID:       e.RunID,
+		ElapsedNS:   int64(e.Elapsed),
+		SHA256:      bodySum(e.Body),
+		Body:        e.Body,
+	}
+	b, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	name := entryName(k)
+	if err := st.writeFile(name, append(b, '\n')); err != nil {
+		return err
+	}
+	st.evictExcept(name)
+	return nil
+}
+
+// Len counts the entries currently on disk (valid or not).
+func (st *Store) Len() int {
+	n := 0
+	for _, de := range st.readDir() {
+		if strings.HasSuffix(de.Name(), entryExt) {
+			n++
+		}
+	}
+	return n
+}
+
+// Purge deletes every entry, keeping the directory and its
+// fingerprint marker.
+func (st *Store) Purge() error {
+	for _, de := range st.readDir() {
+		if strings.HasSuffix(de.Name(), entryExt) {
+			if err := os.Remove(filepath.Join(st.dir, de.Name())); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("diskcache: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// writeFile writes name under the store dir via temp-file + fsync +
+// rename, so concurrent readers never observe a partial file.
+func (st *Store) writeFile(name string, b []byte) error {
+	tmp, err := os.CreateTemp(st.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(st.dir, name)); err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	return nil
+}
+
+// sweepTemps removes temp files orphaned by a writer that died
+// between CreateTemp and Rename. They lack the entry extension, so
+// nothing else (Len, Purge, eviction) would ever reclaim them. The
+// age threshold keeps a live sibling writer's in-flight temp safe — a
+// healthy write holds its temp for milliseconds, not an hour.
+func (st *Store) sweepTemps() {
+	cutoff := time.Now().Add(-time.Hour)
+	for _, de := range st.readDir() {
+		if !strings.HasPrefix(de.Name(), ".tmp-") {
+			continue
+		}
+		if info, err := de.Info(); err == nil && info.ModTime().Before(cutoff) {
+			os.Remove(filepath.Join(st.dir, de.Name()))
+		}
+	}
+}
+
+func (st *Store) evict() { st.evictExcept("") }
+
+// evictExcept removes least-recently-used entries until the directory
+// fits the byte budget, never removing the named just-written file's
+// group. Eviction operates on whole (id, scale) groups — the
+// filename's prefix before the content-type component — because
+// callers that persist one result as several representations read
+// them all-or-nothing: evicting a single file would orphan its
+// siblings into budget-consuming entries that can never serve. A
+// group's recency is its most recently used member (Get refreshes
+// mtimes). Sizes and times are re-scanned on every call — entries
+// number in the low hundreds at most, and a scan stays correct when
+// other processes share the directory.
+func (st *Store) evictExcept(keep string) {
+	if st.maxBytes <= 0 {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	type group struct {
+		names []string
+		size  int64
+		mtime time.Time // newest member
+	}
+	groups := map[string]*group{}
+	var total int64
+	for _, de := range st.readDir() {
+		if !strings.HasSuffix(de.Name(), entryExt) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // deleted under us by a sibling process
+		}
+		g := groups[groupOf(de.Name())]
+		if g == nil {
+			g = &group{}
+			groups[groupOf(de.Name())] = g
+		}
+		g.names = append(g.names, de.Name())
+		g.size += info.Size()
+		if info.ModTime().After(g.mtime) {
+			g.mtime = info.ModTime()
+		}
+		total += info.Size()
+	}
+	ordered := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].mtime.Before(ordered[j].mtime) })
+	keepGroup := groupOf(keep)
+	for _, g := range ordered {
+		if total <= st.maxBytes {
+			return
+		}
+		if keep != "" && groupOf(g.names[0]) == keepGroup {
+			continue
+		}
+		for _, name := range g.names {
+			os.Remove(filepath.Join(st.dir, name))
+		}
+		total -= g.size
+	}
+}
+
+// groupOf maps an entry filename to its eviction group: everything up
+// to the last '@' — i.e. the escaped (id, scale) prefix, shared by
+// all of one result's representations.
+func groupOf(name string) string {
+	if i := strings.LastIndexByte(name, '@'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func (st *Store) readDir() []os.DirEntry {
+	des, _ := os.ReadDir(st.dir)
+	return des
+}
+
+// bodySum is the integrity checksum stored with each entry — hex
+// SHA-256 of the body bytes, verified on every Get.
+func bodySum(b []byte) string {
+	return fmt.Sprintf("%x", sha256.Sum256(b))
+}
+
+// entryName maps a key to its filename: the three escaped components
+// joined with '@' (never produced by the escape, so the mapping is
+// injective) plus the entry extension.
+func entryName(k Key) string {
+	return escape(k.ID) + "@" + escape(k.Scale) + "@" + escape(k.ContentType) + entryExt
+}
+
+// escape keeps [A-Za-z0-9._-] and percent-encodes everything else, so
+// any key component becomes a safe, unambiguous filename fragment.
+func escape(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			sb.WriteByte(c)
+		default:
+			fmt.Fprintf(&sb, "%%%02X", c)
+		}
+	}
+	return sb.String()
+}

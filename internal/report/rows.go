@@ -115,6 +115,18 @@ func (r *Recorder) Bytes() []byte { return r.buf.Bytes() }
 // Document returns the captured structured sections.
 func (r *Recorder) Document() *Document { return &r.doc }
 
+// Rebuild reconstructs a Recorder from previously captured text and
+// sections — the inverse of a recorded run. A cached execution loaded
+// from disk passes back through here so callers holding the rebuilt
+// Recorder can re-render every representation (text, CSV, JSON)
+// exactly as if the run had just happened.
+func Rebuild(text []byte, sections []Section) *Recorder {
+	r := NewRecorder()
+	r.buf.Write(text)
+	r.doc.Sections = append(r.doc.Sections, sections...)
+	return r
+}
+
 // section builds the structured form of a table, defensively copying
 // the header and row slices so later AddRow calls can't alias.
 func (t *Table) section() Section {

@@ -154,3 +154,50 @@ func TestSectionCopyIsDefensive(t *testing.T) {
 		t.Errorf("captured section grew with the table: %d rows", n)
 	}
 }
+
+func TestRebuildRoundTrip(t *testing.T) {
+	// A recorded run, serialized (as the disk cache stores it) and
+	// rebuilt, must be indistinguishable from the original: same text
+	// bytes, same sections, same re-rendered CSV.
+	rec := NewRecorder()
+	sampleTable().Fprint(rec)
+	fig := NewFigure("fit", "size", "ns")
+	s := fig.AddSeries("measured")
+	s.Add(1, 1.5)
+	s.Add(2, 2.5)
+	fig.Fprint(rec)
+
+	var secJSON bytes.Buffer
+	if err := rec.Document().JSON(&secJSON); err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(secJSON.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+
+	got := Rebuild(rec.Bytes(), doc.Sections)
+	if got.Text() != rec.Text() {
+		t.Errorf("text differs after rebuild:\n got %q\nwant %q", got.Text(), rec.Text())
+	}
+	var wantCSV, gotCSV bytes.Buffer
+	if err := rec.Document().CSV(&wantCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Document().CSV(&gotCSV); err != nil {
+		t.Fatal(err)
+	}
+	if gotCSV.String() != wantCSV.String() {
+		t.Errorf("CSV differs after rebuild:\n got %q\nwant %q", gotCSV.String(), wantCSV.String())
+	}
+	if len(got.Document().Sections) != 2 {
+		t.Errorf("rebuilt document has %d sections, want 2", len(got.Document().Sections))
+	}
+}
+
+func TestRebuildEmpty(t *testing.T) {
+	got := Rebuild(nil, nil)
+	if got.Text() != "" || len(got.Document().Sections) != 0 {
+		t.Errorf("empty rebuild not empty: %q, %d sections", got.Text(), len(got.Document().Sections))
+	}
+}

@@ -47,16 +47,18 @@ func newCache() *cache {
 }
 
 // get returns the entry for k, running fill exactly once if the key
-// is cold no matter how many goroutines ask concurrently.
-func (c *cache) get(k key, fill func() (map[string]rep, time.Duration, error)) (*entry, error) {
+// is cold no matter how many goroutines ask concurrently. hit reports
+// whether the entry already existed (filled or in flight) — i.e. this
+// call did not trigger the fill.
+func (c *cache) get(k key, fill func() (map[string]rep, time.Duration, error)) (_ *entry, hit bool, _ error) {
 	c.mu.Lock()
 	if e, ok := c.entries[k]; ok {
 		c.mu.Unlock()
 		<-e.done
 		if e.err != nil {
-			return nil, e.err
+			return nil, true, e.err
 		}
-		return e, nil
+		return e, true, nil
 	}
 	e := &entry{done: make(chan struct{})}
 	c.entries[k] = e
@@ -70,9 +72,9 @@ func (c *cache) get(k key, fill func() (map[string]rep, time.Duration, error)) (
 	}
 	close(e.done)
 	if e.err != nil {
-		return nil, e.err
+		return nil, false, e.err
 	}
-	return e, nil
+	return e, false, nil
 }
 
 // safeFill converts a panicking fill into an error, so the entry is

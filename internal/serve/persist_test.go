@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diskcache"
+)
+
+func openStore(t *testing.T, dir, fp string) *diskcache.Store {
+	t.Helper()
+	st, err := diskcache.Open(dir, fp, 0)
+	if err != nil {
+		t.Fatalf("diskcache.Open: %v", err)
+	}
+	return st
+}
+
+// TestDiskPersistAcrossRestart is the acceptance scenario: a second
+// daemon over a warm cache directory serves a previously cached
+// (id, scale) byte-identically without re-executing the experiment.
+func TestDiskPersistAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int32
+	run := stubRun(&runs, time.Millisecond)
+
+	ts1 := newTestServer(t, Config{RunFunc: run, Store: openStore(t, dir, "fpA")})
+	resp, body1 := doGet(t, ts1.URL+"/experiments/T1", "application/json", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("first get: %d %s", resp.StatusCode, body1)
+	}
+	etag1 := resp.Header.Get("ETag")
+	elapsed1 := resp.Header.Get("X-Experiment-Elapsed")
+	if runs.Load() != 1 {
+		t.Fatalf("first daemon ran %d times, want 1", runs.Load())
+	}
+
+	// "Restart": a fresh server and store handle over the same dir.
+	srv2 := New(Config{RunFunc: run, Store: openStore(t, dir, "fpA")})
+	ts2 := newHTTPTestServer(t, srv2)
+	resp, body2 := doGet(t, ts2.URL+"/experiments/T1", "application/json", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-restart get: %d %s", resp.StatusCode, body2)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("restart re-ran the experiment (runs=%d, want 1)", runs.Load())
+	}
+	if body2 != body1 || resp.Header.Get("ETag") != etag1 {
+		t.Error("restarted daemon served different bytes or ETag")
+	}
+	if got := resp.Header.Get("X-Experiment-Elapsed"); got != elapsed1 {
+		t.Errorf("original wall time lost across restart: %q want %q", got, elapsed1)
+	}
+	if st := srv2.Stats(); st.Runs != 0 || st.DiskLoads != 1 {
+		t.Errorf("restart stats = %+v, want Runs=0 DiskLoads=1", st)
+	}
+
+	// Every representation survives, each with its own ETag.
+	respText, _ := doGet(t, ts2.URL+"/experiments/T1", "text/plain", "")
+	respCSV, _ := doGet(t, ts2.URL+"/experiments/T1", "text/csv", "")
+	if respText.StatusCode != 200 || respCSV.StatusCode != 200 {
+		t.Errorf("text/csv after restart: %d/%d", respText.StatusCode, respCSV.StatusCode)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("negotiation after restart re-ran (runs=%d)", runs.Load())
+	}
+}
+
+// newHTTPTestServer hosts an already-built Server (newTestServer
+// builds its own, which hides the *Server needed for Stats and Warm).
+func newHTTPTestServer(t *testing.T, srv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestWarmLoadsFromDiskWithoutRunning(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int32
+	run := stubRun(&runs, 0)
+
+	srv1 := New(Config{RunFunc: run, Store: openStore(t, dir, "fpA")})
+	if n := srv1.Warm(context.Background(), []string{"T1", "T4"}, 2); n != 2 {
+		t.Fatalf("first warm ran %d, want 2", n)
+	}
+
+	srv2 := New(Config{RunFunc: run, Store: openStore(t, dir, "fpA")})
+	if n := srv2.Warm(context.Background(), []string{"T1", "T4"}, 2); n != 0 {
+		t.Errorf("second warm ran %d, want 0 (all from disk)", n)
+	}
+	if st := srv2.Stats(); st.Runs != 0 || st.DiskLoads != 2 {
+		t.Errorf("second warm stats = %+v, want Runs=0 DiskLoads=2", st)
+	}
+	// And the loaded entries actually serve.
+	ts := newHTTPTestServer(t, srv2)
+	resp, body := doGet(t, ts.URL+"/experiments/T4", "", "")
+	if resp.StatusCode != 200 || !strings.Contains(body, "answer") {
+		t.Errorf("disk-warmed entry not served: %d %q", resp.StatusCode, body)
+	}
+	if runs.Load() != 2 {
+		t.Errorf("serving disk-warmed entries re-ran (runs=%d, want 2)", runs.Load())
+	}
+}
+
+func TestFingerprintChangeInvalidatesStore(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int32
+	run := stubRun(&runs, 0)
+
+	ts1 := newTestServer(t, Config{RunFunc: run, Store: openStore(t, dir, "fpA")})
+	doGet(t, ts1.URL+"/experiments/T1", "", "")
+	if runs.Load() != 1 {
+		t.Fatalf("setup ran %d, want 1", runs.Load())
+	}
+
+	// A new binary/registry generation opens the same directory.
+	srv2 := New(Config{RunFunc: run, Store: openStore(t, dir, "fpB")})
+	ts2 := newHTTPTestServer(t, srv2)
+	resp, _ := doGet(t, ts2.URL+"/experiments/T1", "", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("get after invalidation: %d", resp.StatusCode)
+	}
+	if runs.Load() != 2 {
+		t.Errorf("stale entry served across fingerprint change (runs=%d, want 2)", runs.Load())
+	}
+	if st := srv2.Stats(); st.DiskLoads != 0 {
+		t.Errorf("disk_loads=%d after invalidation, want 0", st.DiskLoads)
+	}
+}
+
+func TestPartialDiskEntrySetReadsAsMiss(t *testing.T) {
+	// Negotiation needs all representations from one execution; if
+	// one was evicted or corrupted, the whole key re-runs rather than
+	// serving a mixed generation.
+	dir := t.TempDir()
+	var runs atomic.Int32
+	run := stubRun(&runs, 0)
+	store := openStore(t, dir, "fpA")
+
+	ts1 := newTestServer(t, Config{RunFunc: run, Store: store})
+	doGet(t, ts1.URL+"/experiments/T1", "", "")
+
+	// Drop one of the three representations.
+	if _, ok := store.Get(diskcache.Key{ID: "T1", Scale: "quick", ContentType: "text/csv"}); !ok {
+		t.Fatal("csv entry not persisted")
+	}
+	if err := store.Purge(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-persist only two of three by round-tripping Get/Put.
+	res := run(mustGetExp(t, "T1"), core.Quick)
+	reps, elapsed, err := renderResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ct := range []string{ctText, ctJSON} {
+		rp := reps[ct]
+		if err := store.Put(storeKey("T1", core.Quick, ct),
+			diskcache.Entry{ETag: rp.etag, Elapsed: elapsed, Body: rp.body}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs.Store(0)
+
+	srv2 := New(Config{RunFunc: run, Store: openStore(t, dir, "fpA")})
+	ts2 := newHTTPTestServer(t, srv2)
+	doGet(t, ts2.URL+"/experiments/T1", "", "")
+	if runs.Load() != 1 {
+		t.Errorf("partial disk set served without a re-run (runs=%d, want 1)", runs.Load())
+	}
+}
+
+func TestMixedGenerationDiskSetReadsAsMiss(t *testing.T) {
+	// Two writers racing on one directory can interleave their three
+	// Puts (last writer wins per file). Each file validates alone, so
+	// only the shared run stamp can reject the mixed set — without
+	// it, a nondeterministic experiment's JSON could disagree with
+	// its text rendering after a restart.
+	dir := t.TempDir()
+	var runs atomic.Int32
+	store := openStore(t, dir, "fpA")
+
+	// Two "executions" with different output bytes.
+	mkReps := func(tag string) map[string]rep {
+		res := stubRun(&runs, 0)(mustGetExp(t, "T1"), core.Quick)
+		res.Rec.Write([]byte(tag + "\n")) // perturb the rendered bytes
+		reps, _, err := renderResult(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reps
+	}
+	repsA, repsB := mkReps("run A"), mkReps("run B")
+
+	put := func(reps map[string]rep, ct string) {
+		t.Helper()
+		rp := reps[ct]
+		if err := store.Put(storeKey("T1", core.Quick, ct),
+			diskcache.Entry{ETag: rp.etag, RunID: runIDOf(reps), Elapsed: time.Millisecond, Body: rp.body}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Interleaving: A writes text, B overwrites json and csv.
+	put(repsA, ctText)
+	put(repsB, ctJSON)
+	put(repsB, ctCSV)
+
+	runs.Store(0)
+	srv := New(Config{RunFunc: stubRun(&runs, 0), Store: store})
+	ts := newHTTPTestServer(t, srv)
+	doGet(t, ts.URL+"/experiments/T1", "", "")
+	if runs.Load() != 1 {
+		t.Errorf("mixed-generation disk set served without a re-run (runs=%d, want 1)", runs.Load())
+	}
+	if st := srv.Stats(); st.DiskLoads != 0 {
+		t.Errorf("mixed-generation set counted as a disk load (%d)", st.DiskLoads)
+	}
+
+	// LoadResult applies the same guard on its text+json pair.
+	store2 := openStore(t, t.TempDir(), "fpA")
+	res := stubRun(&runs, 0)(mustGetExp(t, "T1"), core.Quick)
+	if err := StoreResult(store2, res); err != nil {
+		t.Fatal(err)
+	}
+	rp := repsB[ctJSON]
+	if err := store2.Put(storeKey("T1", core.Quick, ctJSON),
+		diskcache.Entry{ETag: rp.etag, RunID: runIDOf(repsB), Elapsed: time.Millisecond, Body: rp.body}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := LoadResult(store2, mustGetExp(t, "T1"), core.Quick); ok {
+		t.Error("LoadResult accepted a mixed-generation text+json pair")
+	}
+}
+
+func mustGetExp(t *testing.T, id string) core.Experiment {
+	t.Helper()
+	e, ok := core.Get(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	return e
+}
+
+func TestWarmCanceledPromptly(t *testing.T) {
+	var runs atomic.Int32
+	srv := New(Config{RunFunc: stubRun(&runs, 0)})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if n := srv.Warm(ctx, []string{"T1", "T4"}, 1); n != 0 {
+		t.Errorf("canceled warm ran %d, want 0", n)
+	}
+	if runs.Load() != 0 {
+		t.Errorf("canceled warm executed %d experiments", runs.Load())
+	}
+	// Canceled claims were released: a later request runs and serves.
+	ts := newHTTPTestServer(t, srv)
+	resp, body := doGet(t, ts.URL+"/experiments/T1", "", "")
+	if resp.StatusCode != 200 || !strings.Contains(body, "answer") {
+		t.Errorf("request after canceled warm: %d %q", resp.StatusCode, body)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("request after canceled warm ran %d, want 1", runs.Load())
+	}
+}
+
+func TestHealthzCounters(t *testing.T) {
+	var runs atomic.Int32
+	srv := New(Config{RunFunc: stubRun(&runs, 0)})
+	ts := newHTTPTestServer(t, srv)
+	doGet(t, ts.URL+"/experiments/T1", "", "")
+	doGet(t, ts.URL+"/experiments/T1", "", "")
+	resp, body := doGet(t, ts.URL+"/healthz", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "ok runs=1 mem_hits=1 disk_loads=0 disk_errs=0") {
+		t.Errorf("healthz counters = %q", body)
+	}
+}
+
+// TestStoreLoadResultRoundTrip covers the charhpc path: a Result
+// persisted with StoreResult and reconstructed with LoadResult
+// re-renders every representation byte-identically (ETags included),
+// via report.Rebuild.
+func TestStoreLoadResultRoundTrip(t *testing.T) {
+	store := openStore(t, t.TempDir(), "fpA")
+	var runs atomic.Int32
+	res := stubRun(&runs, 2*time.Millisecond)(mustGetExp(t, "T1"), core.Quick)
+	if err := StoreResult(store, res); err != nil {
+		t.Fatalf("StoreResult: %v", err)
+	}
+
+	got, ok := LoadResult(store, mustGetExp(t, "T1"), core.Quick)
+	if !ok {
+		t.Fatal("LoadResult missed a stored result")
+	}
+	if got.Elapsed != res.Elapsed {
+		t.Errorf("elapsed %v, want %v", got.Elapsed, res.Elapsed)
+	}
+	if got.Rec.Text() != res.Rec.Text() {
+		t.Errorf("text round trip:\n got %q\nwant %q", got.Rec.Text(), res.Rec.Text())
+	}
+	wantReps, _, err := renderResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotReps, _, err := renderResult(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ct := range offered {
+		if string(gotReps[ct].body) != string(wantReps[ct].body) || gotReps[ct].etag != wantReps[ct].etag {
+			t.Errorf("representation %s not byte-identical after round trip", ct)
+		}
+	}
+
+	// Unstored results miss.
+	if _, ok := LoadResult(store, mustGetExp(t, "T4"), core.Quick); ok {
+		t.Error("LoadResult hit an unstored experiment")
+	}
+}
+
+// TestDiskWriteFailureStillServes: a read-only cache directory can't
+// absorb writes, but the request still succeeds from memory and the
+// failure is counted.
+func TestDiskWriteFailureStillServes(t *testing.T) {
+	dir := t.TempDir()
+	store := openStore(t, dir, "fpA")
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Skipf("cannot make dir read-only: %v", err)
+	}
+	defer os.Chmod(dir, 0o755)
+	// Root (CI containers) bypasses permission bits; the failure
+	// can't be injected there.
+	if f, err := os.CreateTemp(dir, "probe-*"); err == nil {
+		f.Close()
+		os.Remove(f.Name())
+		os.Chmod(dir, 0o755)
+		t.Skip("permissions not enforced for this user (running as root)")
+	}
+
+	var runs atomic.Int32
+	srv := New(Config{RunFunc: stubRun(&runs, 0), Store: store})
+	ts := newHTTPTestServer(t, srv)
+	resp, _ := doGet(t, ts.URL+"/experiments/T1", "", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("get with failing store: %d", resp.StatusCode)
+	}
+	if st := srv.Stats(); st.DiskErrs == 0 {
+		t.Error("failed disk writes not counted")
+	}
+}

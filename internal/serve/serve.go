@@ -13,17 +13,26 @@
 // execution per (id, scale). Responses carry strong ETags and honor
 // If-None-Match with 304; a cold (id, scale) requested by N clients
 // concurrently executes the experiment exactly once (single-flight).
+//
+// With a diskcache.Store configured, the in-memory cache is a
+// write-through front for a disk-persistent one: cold keys load from
+// disk before they run, fills persist atomically, and a restarted
+// server serves previously cached results byte-identically (same
+// ETags) without re-executing — see the README's persistence section.
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diskcache"
 	"repro/internal/report"
 )
 
@@ -48,6 +57,14 @@ type Config struct {
 	// RunFunc executes one experiment; nil means core.Run. Tests
 	// substitute it to count or stub executions.
 	RunFunc func(core.Experiment, core.Scale) core.Result
+
+	// Store, when non-nil, persists filled cache entries to disk and
+	// makes the in-memory cache a write-through front: a cold key
+	// loads from the store before it runs, and every successful fill
+	// is written back. The store must have been opened with
+	// core.Fingerprint() so entries from other binaries or registry
+	// shapes are rejected (see internal/diskcache).
+	Store *diskcache.Store
 }
 
 // Server is the HTTP results service. It implements http.Handler.
@@ -56,6 +73,31 @@ type Server struct {
 	listReps map[string]rep // registry listing per content type, fixed at init
 	cache    *cache
 	mux      *http.ServeMux
+
+	runs      atomic.Int64 // experiment executions started
+	memHits   atomic.Int64 // requests answered by a warm/in-flight memory entry
+	diskLoads atomic.Int64 // cold keys filled from the disk store
+	diskErrs  atomic.Int64 // failed disk-store writes (cache still serves)
+}
+
+// Stats is a snapshot of the server's cache counters, also rendered
+// on /healthz so operators (and the CI smoke test) can assert cache
+// behavior across restarts.
+type Stats struct {
+	Runs      int64 // experiment executions started
+	MemHits   int64 // requests served from the in-memory cache
+	DiskLoads int64 // entries loaded from the disk store
+	DiskErrs  int64 // failed disk-store writes
+}
+
+// Stats returns the current counter snapshot.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Runs:      s.runs.Load(),
+		MemHits:   s.memHits.Load(),
+		DiskLoads: s.diskLoads.Load(),
+		DiskErrs:  s.diskErrs.Load(),
+	}
 }
 
 // New builds a Server over the process-wide experiment registry.
@@ -77,7 +119,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", ctText)
-	fmt.Fprintln(w, "ok")
+	st := s.Stats()
+	fmt.Fprintf(w, "ok runs=%d mem_hits=%d disk_loads=%d disk_errs=%d\n",
+		st.Runs, st.MemHits, st.DiskLoads, st.DiskErrs)
 }
 
 // listEntry is one row of the JSON registry listing.
@@ -159,12 +203,17 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ent, err := s.cache.get(key{id, scale}, func() (map[string]rep, time.Duration, error) {
-		return renderResult(s.safeRun(e, scale))
+	ent, hit, err := s.cache.get(key{id, scale}, func() (map[string]rep, time.Duration, error) {
+		return s.fill(e, scale)
 	})
 	if err != nil {
 		http.Error(w, fmt.Sprintf("experiment %s failed: %v", id, err), http.StatusInternalServerError)
 		return
+	}
+	// Waiters on a failed fill got a 500, not a cached result — only
+	// a successful wait counts as a hit.
+	if hit {
+		s.memHits.Add(1)
 	}
 
 	rp := ent.reps[ct]
@@ -232,14 +281,41 @@ func renderResult(res core.Result) (map[string]rep, time.Duration, error) {
 	return reps, res.Elapsed, nil
 }
 
+// fill produces the representations for one cold (id, scale): load
+// from the disk store when a valid entry generation exists there,
+// otherwise execute the experiment and write the rendering through to
+// the store. This is the only path that fills the in-memory cache, so
+// the memory layer is strictly a write-through front for the store.
+func (s *Server) fill(e core.Experiment, scale core.Scale) (map[string]rep, time.Duration, error) {
+	if reps, elapsed, ok := s.loadStore(e.ID, scale); ok {
+		s.diskLoads.Add(1)
+		return reps, elapsed, nil
+	}
+	reps, elapsed, err := renderResult(s.safeRun(e, scale))
+	if err == nil {
+		s.saveStore(e.ID, scale, reps, elapsed)
+	}
+	return reps, elapsed, err
+}
+
 // Warm fills the quick-scale cache for the given experiment IDs (nil
-// means every registered experiment) on a core.RunParallel worker
-// pool driven through the server's RunFunc. Cold keys are claimed up
-// front so requests arriving mid-warm wait on the in-flight entry
-// instead of re-running — the single-flight guarantee holds across
-// warm-up and traffic. Already cached or in-flight IDs are skipped.
-// Returns the number of experiments it ran.
-func (s *Server) Warm(ids []string, workers int) int {
+// means every registered experiment): entries with a valid disk-store
+// generation are loaded without running; the rest execute on a
+// core.RunParallel worker pool driven through the server's RunFunc.
+// Cold keys are claimed up front so requests arriving mid-warm wait on
+// the in-flight entry instead of re-running — the single-flight
+// guarantee holds across warm-up and traffic. Already cached or
+// in-flight IDs are skipped.
+//
+// Canceling ctx stops the warm-up promptly: jobs not yet started are
+// skipped (their claims are released so later requests retry), and
+// only in-flight experiment runs are waited out. Returns the number of
+// experiments it actually executed — disk loads and canceled jobs
+// don't count.
+func (s *Server) Warm(ctx context.Context, ids []string, workers int) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if ids == nil {
 		for _, e := range core.All() {
 			ids = append(ids, e.ID)
@@ -251,10 +327,17 @@ func (s *Server) Warm(ids []string, workers int) int {
 		if _, ok := core.Get(id); !ok {
 			continue
 		}
-		if e, ok := s.cache.claim(key{id, core.Quick}); ok {
-			claimed[id] = e
-			cold = append(cold, id)
+		e, ok := s.cache.claim(key{id, core.Quick})
+		if !ok {
+			continue
 		}
+		if reps, elapsed, lok := s.loadStore(id, core.Quick); lok {
+			s.diskLoads.Add(1)
+			s.cache.finish(key{id, core.Quick}, e, reps, elapsed, nil)
+			continue
+		}
+		claimed[id] = e
+		cold = append(cold, id)
 	}
 	if len(cold) == 0 {
 		return 0
@@ -265,12 +348,24 @@ func (s *Server) Warm(ids []string, workers int) int {
 	// wrapper (limits, instrumentation, test stubs) as traffic, with
 	// the same panic containment — and guarantees r.Experiment.ID is
 	// the job's own, so every claimed entry is found and finished.
-	core.RunParallelWith(cold, core.Quick, workers, s.safeRun, func(r core.Result) {
+	var ran atomic.Int64
+	run := func(e core.Experiment, sc core.Scale) core.Result {
+		if err := ctx.Err(); err != nil {
+			return core.Result{Experiment: e, Scale: sc,
+				Err: fmt.Errorf("warm-up canceled: %w", err)}
+		}
+		ran.Add(1)
+		return s.safeRun(e, sc)
+	}
+	core.RunParallelWith(cold, core.Quick, workers, run, func(r core.Result) {
 		k := key{r.Experiment.ID, core.Quick}
 		reps, elapsed, err := renderResult(r)
+		if err == nil {
+			s.saveStore(r.Experiment.ID, core.Quick, reps, elapsed)
+		}
 		s.cache.finish(k, claimed[r.Experiment.ID], reps, elapsed, err)
 	})
-	return len(cold)
+	return int(ran.Load())
 }
 
 // safeRun drives cfg.RunFunc with the safety net both execution paths
@@ -279,6 +374,7 @@ func (s *Server) Warm(ids []string, workers int) int {
 // the job's own identity is stamped on the result so cache keys and
 // JSON envelopes never depend on what a wrapper echoed back.
 func (s *Server) safeRun(e core.Experiment, sc core.Scale) (res core.Result) {
+	s.runs.Add(1)
 	defer func() {
 		if r := recover(); r != nil {
 			res = core.Result{Err: fmt.Errorf("experiment run panicked: %v", r)}
@@ -286,6 +382,132 @@ func (s *Server) safeRun(e core.Experiment, sc core.Scale) (res core.Result) {
 		res.Experiment, res.Scale = e, sc
 	}()
 	return s.cfg.RunFunc(e, sc)
+}
+
+// storeKey maps one in-memory cache slot + offered content type to
+// the disk store's key space. Keys carry the bare media type — the
+// charset parameter is a response detail, not part of the identity.
+func storeKey(id string, sc core.Scale, ct string) diskcache.Key {
+	return diskcache.Key{ID: id, Scale: sc.String(), ContentType: mediaType(ct)}
+}
+
+// mediaType strips any parameters (";charset=...") from a content type.
+func mediaType(ct string) string {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct)
+}
+
+// runIDOf stamps one execution's generation: a hash over every
+// representation's ETag. Entries written by one fill share it, so a
+// set mixed across two concurrent executions (last-writer-wins per
+// file, and nondeterministic experiments render different bytes per
+// run) is detectable on load even though each file validates alone.
+func runIDOf(reps map[string]rep) string {
+	h := sha256.New()
+	for _, ct := range offered {
+		fmt.Fprintln(h, reps[ct].etag)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+}
+
+// loadStore fetches all offered representations of (id, scale) from
+// the disk store. It is all-or-nothing: negotiation needs every
+// content type from the same execution, so a partial set — or one
+// whose entries carry different run stamps because two writers raced
+// — reads as a miss and the caller re-runs.
+func (s *Server) loadStore(id string, sc core.Scale) (map[string]rep, time.Duration, bool) {
+	if s.cfg.Store == nil {
+		return nil, 0, false
+	}
+	reps := make(map[string]rep, len(offered))
+	var elapsed time.Duration
+	var runID string
+	for i, ct := range offered {
+		ent, ok := s.cfg.Store.Get(storeKey(id, sc, ct))
+		if !ok {
+			return nil, 0, false
+		}
+		if i == 0 {
+			runID = ent.RunID
+		} else if ent.RunID != runID {
+			return nil, 0, false
+		}
+		reps[ct] = rep{body: ent.Body, etag: ent.ETag}
+		elapsed = ent.Elapsed
+	}
+	return reps, elapsed, true
+}
+
+// putReps persists one fill's representations — runID-stamped so a
+// reader can reject a set mixed across racing writers. Both persist
+// paths (the daemon's write-through and the CLI's StoreResult) go
+// through here, so the entry layout can never diverge between them.
+// The first failed write is returned; the rest are still attempted.
+func putReps(st *diskcache.Store, id string, sc core.Scale, reps map[string]rep, elapsed time.Duration) error {
+	runID := runIDOf(reps)
+	var firstErr error
+	for _, ct := range offered {
+		rp := reps[ct]
+		err := st.Put(storeKey(id, sc, ct),
+			diskcache.Entry{ETag: rp.etag, RunID: runID, Elapsed: elapsed, Body: rp.body})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// saveStore writes a filled entry's representations through to the
+// disk store. Persistence is best-effort: a failed write leaves the
+// in-memory entry serving and bumps the disk_errs counter.
+func (s *Server) saveStore(id string, sc core.Scale, reps map[string]rep, elapsed time.Duration) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if err := putReps(s.cfg.Store, id, sc, reps, elapsed); err != nil {
+		s.diskErrs.Add(1)
+	}
+}
+
+// StoreResult renders one captured execution into all negotiable
+// representations and persists them under the store layout the daemon
+// reads — how charhpc -cache-dir shares a store with charhpcd. A
+// failed result is not persisted.
+func StoreResult(st *diskcache.Store, res core.Result) error {
+	reps, elapsed, err := renderResult(res)
+	if err != nil {
+		return err
+	}
+	return putReps(st, res.Experiment.ID, res.Scale, reps, elapsed)
+}
+
+// LoadResult reconstructs a cached execution of e at scale sc from
+// the disk store: the text representation replays the byte stream and
+// the JSON envelope's sections rebuild the structured document, so
+// the returned Result behaves like a live run (report.Rebuild is the
+// round-trip's other half). Elapsed is the original run's wall time.
+// Missing or invalid entries return ok=false.
+func LoadResult(st *diskcache.Store, e core.Experiment, sc core.Scale) (core.Result, bool) {
+	text, ok := st.Get(storeKey(e.ID, sc, ctText))
+	if !ok {
+		return core.Result{}, false
+	}
+	jent, ok := st.Get(storeKey(e.ID, sc, ctJSON))
+	if !ok || jent.RunID != text.RunID {
+		return core.Result{}, false
+	}
+	var env resultJSON
+	if err := json.Unmarshal(jent.Body, &env); err != nil {
+		return core.Result{}, false
+	}
+	return core.Result{
+		Experiment: e,
+		Scale:      sc,
+		Rec:        report.Rebuild(text.Body, env.Sections),
+		Elapsed:    text.Elapsed,
+	}, true
 }
 
 // etagOf returns the strong ETag of a representation: the quoted

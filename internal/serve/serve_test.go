@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -357,7 +358,7 @@ func TestWarmSurvivesPanicAndSparseStubs(t *testing.T) {
 		return core.Result{Rec: rec} // no Experiment/Scale stamped
 	}})
 	// One worker makes the panicking run deterministic: it is T1's.
-	if n := srv.Warm([]string{"T1", "T4"}, 1); n != 2 {
+	if n := srv.Warm(context.Background(), []string{"T1", "T4"}, 1); n != 2 {
 		t.Errorf("Warm ran %d, want 2", n)
 	}
 	ts := httptest.NewServer(srv)
@@ -386,7 +387,7 @@ func TestWarmSurvivesPanicAndSparseStubs(t *testing.T) {
 
 func TestWarmFillsCache(t *testing.T) {
 	srv := New(Config{})
-	n := srv.Warm([]string{"T1", "T4"}, 2)
+	n := srv.Warm(context.Background(), []string{"T1", "T4"}, 2)
 	if n != 2 {
 		t.Errorf("Warm ran %d, want 2", n)
 	}
@@ -402,7 +403,7 @@ func TestWarmFillsCache(t *testing.T) {
 	}
 
 	// Re-warming the same ids is a no-op.
-	if n := srv.Warm([]string{"T1", "T4"}, 2); n != 0 {
+	if n := srv.Warm(context.Background(), []string{"T1", "T4"}, 2); n != 0 {
 		t.Errorf("re-warm ran %d experiments, want 0", n)
 	}
 }
@@ -413,7 +414,7 @@ func TestWarmUsesCustomRunFunc(t *testing.T) {
 	// wrapper didn't make.
 	var runs atomic.Int32
 	srv := New(Config{RunFunc: stubRun(&runs, 0)})
-	if n := srv.Warm([]string{"T1", "T4"}, 2); n != 2 {
+	if n := srv.Warm(context.Background(), []string{"T1", "T4"}, 2); n != 2 {
 		t.Errorf("Warm ran %d, want 2", n)
 	}
 	if runs.Load() != 2 {
