@@ -58,10 +58,12 @@ func BenchmarkF14Placement(b *testing.B)       { benchExperiment(b, "F14") }
 func BenchmarkF15AppKernels(b *testing.B)      { benchExperiment(b, "F15") }
 func BenchmarkF16HPLBlockSize(b *testing.B)    { benchExperiment(b, "F16") }
 
-func BenchmarkM1LatencyLadder(b *testing.B) { benchExperiment(b, "M1") }
-func BenchmarkM2TLBStress(b *testing.B)     { benchExperiment(b, "M2") }
-func BenchmarkM3PageSizeTable(b *testing.B) { benchExperiment(b, "M3") }
-func BenchmarkM4HierarchyFit(b *testing.B)  { benchExperiment(b, "M4") }
+func BenchmarkM1LatencyLadder(b *testing.B)  { benchExperiment(b, "M1") }
+func BenchmarkM2TLBStress(b *testing.B)      { benchExperiment(b, "M2") }
+func BenchmarkM3PageSizeTable(b *testing.B)  { benchExperiment(b, "M3") }
+func BenchmarkM4HierarchyFit(b *testing.B)   { benchExperiment(b, "M4") }
+func BenchmarkM5NUMAPlacement(b *testing.B)  { benchExperiment(b, "M5") }
+func BenchmarkM6PlacementCurve(b *testing.B) { benchExperiment(b, "M6") }
 
 // --- substrate micro-benchmarks ---
 

@@ -4,7 +4,10 @@
 // and latencies from the measured ladder. With -model it instead (or
 // additionally) evaluates a platform preset's analytic memory model and
 // reports the fitted-vs-truth recovery, the standalone version of
-// experiment M4.
+// experiment M4. With -numa it runs the NUMA placement probe — pinned
+// first-touch vs interleaved vs remote initialization on the host, or
+// the modeled placement ladder and local/remote split recovery of a
+// preset — the standalone version of experiments M5/M6.
 //
 // Usage:
 //
@@ -12,6 +15,8 @@
 //	membench -min 4K -max 256M -points 4 -fit
 //	membench -tlb -tlbpages 65536
 //	membench -model bgp-64n -mode paged
+//	membench -numa -max 64M                 # host placement ladders + split fit
+//	membench -model fat-1n -numa            # modeled placement table + split fit
 package main
 
 import (
@@ -43,6 +48,8 @@ func main() {
 	pageBytes := flag.Int("page", 4096, "page size the TLB sweep strides by")
 	modelName := flag.String("model", "", "evaluate a platform preset's memory model instead of the host (see -list)")
 	modeFlag := flag.String("mode", "", "override the model's mapping mode: paged or bigmem")
+	numa := flag.Bool("numa", false, "run the NUMA placement probe (host) or placement table (-model)")
+	numaThreads := flag.Int("numa-threads", 0, "pinned team size for -numa (default: one worker per NUMA node)")
 	list := flag.Bool("list", false, "list platform presets with memory models and exit")
 	flag.Parse()
 
@@ -55,8 +62,12 @@ func main() {
 		sort.Strings(names)
 		for _, name := range names {
 			if m := presets[name].Mem; m != nil {
-				fmt.Printf("%-10s %s mode, %d levels, TLB reach %s\n",
-					name, m.Mode, len(m.Levels), report.Bytes(m.TLBReach()))
+				locality := "UMA"
+				if m.NUMA.Nodes > 1 {
+					locality = fmt.Sprintf("%d NUMA nodes", m.NUMA.Nodes)
+				}
+				fmt.Printf("%-10s %s mode, %d levels, TLB reach %s, %s\n",
+					name, m.Mode, len(m.Levels), report.Bytes(m.TLBReach()), locality)
 			}
 		}
 		return
@@ -75,6 +86,7 @@ func main() {
 		fit: *fit, maxLevels: *maxLevels,
 		tlb: *tlb, tlbPages: *tlbPages, pageBytes: *pageBytes,
 		modelName: *modelName, mode: *modeFlag,
+		numa: *numa, numaThreads: *numaThreads,
 	})
 }
 
@@ -86,11 +98,21 @@ type config struct {
 	tlb                                               bool
 	tlbPages, pageBytes                               int
 	modelName, mode                                   string
+	numa                                              bool
+	numaThreads                                       int
 }
 
 func run(c config) {
 	if c.modelName != "" {
+		if c.numa {
+			runModelNUMA(c)
+			return
+		}
 		runModel(c)
+		return
+	}
+	if c.numa {
+		runHostNUMA(c)
 		return
 	}
 	runHost(c)
@@ -137,9 +159,8 @@ func runHost(c config) {
 	}
 }
 
-// runModel evaluates a preset's analytic model over the sweep, then
-// fits it back and prints recovery error per level.
-func runModel(c config) {
+// lookupModel resolves -model/-mode into a preset's memory model.
+func lookupModel(c config) *mem.Model {
 	preset, ok := cluster.Presets()[c.modelName]
 	if !ok || preset.Mem == nil {
 		fail(fmt.Errorf("unknown platform %q (use -list)", c.modelName))
@@ -154,6 +175,13 @@ func runModel(c config) {
 	default:
 		fail(fmt.Errorf("unknown mode %q (want paged or bigmem)", c.mode))
 	}
+	return m
+}
+
+// runModel evaluates a preset's analytic model over the sweep, then
+// fits it back and prints recovery error per level.
+func runModel(c config) {
+	m := lookupModel(c)
 
 	samples := m.Ladder(c.minBytes, c.maxBytes, c.points)
 	fig := report.NewFigure(
@@ -185,6 +213,68 @@ func runModel(c config) {
 	}
 	t.AddRow("memory", "-", "-", m.MemLatency*1e9, h.MemLatency*1e9, h.R2)
 	fail(t.Fprint(os.Stdout))
+}
+
+// runHostNUMA measures the host under the three placement policies —
+// pages faulted in by a pinned team per policy, chased from one pinned
+// worker — then recovers the local/remote split from the first-touch
+// and remote ladders. On a UMA host the ladders coincide and the
+// fitted ratio sits near 1.
+func runHostNUMA(c config) {
+	fig := report.NewFigure("NUMA placement latency ladder (host)",
+		"working set (bytes)", "ns/access")
+	ladders := map[mem.Placement][]mem.Sample{}
+	for _, p := range mem.Placements {
+		samples, err := mem.NUMALadder(mem.NUMALadderConfig{
+			MinBytes: c.minBytes, MaxBytes: c.maxBytes, PointsPerOctave: c.points,
+			Stride: c.stride, Iters: c.iters, Trials: c.trials, Seed: c.seed,
+			Threads: c.numaThreads, Policy: p,
+		})
+		fail(err)
+		ladders[p] = samples
+		s := fig.AddSeries("measured/" + p.String())
+		for _, pt := range samples {
+			s.Add(float64(pt.Bytes), pt.Seconds*1e9)
+		}
+	}
+	fail(fig.Fprint(os.Stdout))
+
+	split, err := perfmodel.FitNUMASplit(ladders[mem.FirstTouch], ladders[mem.Remote], c.maxLevels)
+	fail(err)
+	t := report.NewTable("Fitted NUMA split (host)",
+		"local (ns)", "remote (ns)", "ratio", "R2")
+	t.AddRow(split.Local*1e9, split.Remote*1e9, split.Ratio, split.R2)
+	fail(t.Fprint(os.Stdout))
+}
+
+// runModelNUMA prints a preset's modeled placement ladder and the
+// local/remote split recovered from its own first-touch and remote
+// ladders — the standalone version of experiment M5 for one platform.
+func runModelNUMA(c config) {
+	m := lookupModel(c)
+	if m.NUMA.Nodes <= 1 {
+		fail(fmt.Errorf("platform %q is UMA: no NUMA axis configured (try fat-1n or bgp-64n)", c.modelName))
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Modeled placement ladder (%s, %s)", c.modelName, m.Mode),
+		"ws", "placement", "latency (ns)", "slowdown")
+	for _, sz := range []int{1 << 20, 64 << 20, 1 << 30} {
+		for _, p := range mem.Placements {
+			t.AddRow(report.Bytes(sz), p.String(),
+				m.Latency(sz, m.Mode, p)*1e9, m.PlacementSlowdown(sz, m.Mode, p))
+		}
+	}
+	fail(t.Fprint(os.Stdout))
+
+	split, err := perfmodel.FitNUMASplitFromModel(m, c.points)
+	fail(err)
+	ft := report.NewTable("Fitted NUMA split vs truth",
+		"true local", "fit local", "true remote", "fit remote", "true ratio", "fit ratio", "R2")
+	ft.AddRow(m.MemLatency*1e9, split.Local*1e9,
+		m.NUMA.RemoteLatency*1e9, split.Remote*1e9,
+		m.NUMA.RemoteLatency/m.MemLatency, split.Ratio, split.R2)
+	fail(ft.Fprint(os.Stdout))
 }
 
 func fail(err error) {

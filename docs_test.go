@@ -1,0 +1,132 @@
+package repro_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// mdLink matches one inline Markdown link or image — [text](target),
+// with or without a quoted title after the target. The target is the
+// first whitespace-free run; anything after it (a title) is consumed
+// so titled links cannot silently escape the check. Reference-style
+// link definitions are not used in this repo's docs.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(\s*([^)\s]+)[^)]*\)`)
+
+// docFiles returns the Markdown set the link check covers: the
+// top-level docs plus every per-package README.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "ROADMAP.md"}
+	more, err := filepath.Glob(filepath.Join("internal", "*", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, more...)
+}
+
+// TestDocLinks is the docs CI gate: every relative link in the
+// repository's Markdown must resolve to a file or directory that
+// exists, so the architecture map in README.md cannot rot silently as
+// packages move. External (scheme-qualified) links are out of scope —
+// CI must not depend on third-party uptime.
+func TestDocLinks(t *testing.T) {
+	checked := 0
+	for _, f := range docFiles(t) {
+		body, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			switch {
+			case strings.Contains(target, "://"), strings.HasPrefix(target, "mailto:"):
+				continue // external
+			case strings.HasPrefix(target, "#"):
+				continue // intra-document anchor
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(f), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", f, m[1], resolved)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("link check matched no links — is the doc set empty?")
+	}
+	t.Logf("checked %d relative links", checked)
+}
+
+// famRange matches a family range like "T1–T4" or "M1–M6" (en dash)
+// in the README's experiment index.
+var famRange = regexp.MustCompile(`([A-Z])(\d+)–[A-Z]?(\d+)`)
+
+// TestReadmeCoversRegistry keeps the top-level README honest about the
+// experiment families and examples it advertises: every experiment in
+// the live core registry must be covered, either named literally or
+// inside a family range, so registering a new experiment (an M7)
+// fails this test until the README's index grows with it.
+func TestReadmeCoversRegistry(t *testing.T) {
+	body, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(body)
+
+	ranges := map[string][][2]int{}
+	for _, m := range famRange.FindAllStringSubmatch(s, -1) {
+		lo, _ := strconv.Atoi(m[2])
+		hi, _ := strconv.Atoi(m[3])
+		ranges[m[1]] = append(ranges[m[1]], [2]int{lo, hi})
+	}
+	for _, e := range core.All() {
+		fam, num := splitExpID(e.ID)
+		covered := strings.Contains(s, e.ID)
+		for _, r := range ranges[fam] {
+			if num >= r[0] && num <= r[1] {
+				covered = true
+			}
+		}
+		if !covered {
+			t.Errorf("README.md experiment index does not cover %s", e.ID)
+		}
+	}
+
+	for _, want := range []string{
+		"charhpc", "charhpcd", "membench",
+		"examples/numa-placement", "examples/mem-hierarchy",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("README.md does not mention %q", want)
+		}
+	}
+	dirs, err := filepath.Glob(filepath.Join("examples", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if !strings.Contains(s, filepath.ToSlash(d)) {
+			t.Errorf("README.md does not link example %s", d)
+		}
+	}
+}
+
+// splitExpID splits an experiment ID like "F13" into family letter(s)
+// and number, mirroring core's internal ID collation.
+func splitExpID(id string) (string, int) {
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	n, _ := strconv.Atoi(id[i:])
+	return id[:i], n
+}

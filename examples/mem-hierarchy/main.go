@@ -8,6 +8,10 @@
 // pointer-chase ladder on the real host and fits it the same way, which
 // is what cmd/membench does at full scale.
 //
+// This walk-through covers the cache/TLB/page-size axes; its companion
+// examples/numa-placement walks the model's NUMA placement axis the
+// same way (modeled claims, split recovery, pinned host probe).
+//
 //	go run ./examples/mem-hierarchy
 package main
 

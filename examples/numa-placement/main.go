@@ -1,0 +1,95 @@
+// NUMA placement walkthrough: the memory model's locality axis end to
+// end, the companion of examples/mem-hierarchy (which walks the cache
+// and page-size axes).
+//
+// Step 1 takes the fat four-socket preset and prints what its NUMA
+// model claims: node count, local vs remote latency, and what each
+// placement policy (first-touch, interleave, remote) costs at growing
+// working sets, in both mapping modes — placement composes with the
+// paged/big-memory axis. Step 2 closes the loop the way experiment M5
+// does: two ladders generated from the model under opposite placements
+// are handed to perfmodel.FitNUMASplit, which recovers the local/remote
+// split. Step 3 runs the measured counterpart on the real host — pages
+// faulted in by a pinned worker team under each policy, chased from one
+// pinned worker (mem.NUMAChase) — which is what cmd/membench -numa does
+// at full scale. On a single-socket (UMA) host the three measured
+// curves coincide; that is the degenerate case the model reproduces
+// bit-for-bit.
+//
+//	go run ./examples/numa-placement
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/mem"
+	"repro/internal/perfmodel"
+	"repro/internal/report"
+)
+
+func main() {
+	// --- Step 1: what the NUMA model claims --------------------------
+	platform := cluster.FatNUMANode()
+	m := platform.Mem
+	fmt.Printf("platform %s: %d NUMA nodes, local %.0fns, remote %.0fns (ratio %.2f)\n\n",
+		platform.Name, m.NUMA.Nodes,
+		m.MemLatency*1e9, m.NUMA.RemoteLatency*1e9,
+		m.NUMA.RemoteLatency/m.MemLatency)
+
+	t := report.NewTable("Modeled latency by mapping mode and placement",
+		"ws", "mode", "placement", "latency (ns)", "slowdown")
+	for _, ws := range []int{256 << 10, 16 << 20, 1 << 30} {
+		for _, mode := range []mem.Mode{mem.Paged, mem.BigMemory} {
+			for _, p := range mem.Placements {
+				t.AddRow(report.Bytes(ws), mode.String(), p.String(),
+					m.Latency(ws, mode, p)*1e9,
+					m.PlacementSlowdown(ws, mode, p))
+			}
+		}
+	}
+	check(t.Fprint(os.Stdout))
+	fmt.Println()
+
+	// --- Step 2: recover the split from the model's own ladders ------
+	// Spelled out for the walkthrough; perfmodel.FitNUMASplitFromModel
+	// packages exactly these steps, and is what M5 and membench use.
+	big := m.WithMode(mem.BigMemory) // pure memory plateaus: no TLB term
+	maxBytes := 8 * big.Levels[len(big.Levels)-1].Capacity
+	local := big.WithPlacement(mem.FirstTouch).Ladder(4<<10, maxBytes, 4)
+	remote := big.WithPlacement(mem.Remote).Ladder(4<<10, maxBytes, 4)
+	split, err := perfmodel.FitNUMASplit(local, remote, len(big.Levels)+1)
+	check(err)
+	ft := report.NewTable("Split recovered from placement ladders",
+		"", "true", "fitted")
+	ft.AddRow("local (ns)", m.MemLatency*1e9, split.Local*1e9)
+	ft.AddRow("remote (ns)", m.NUMA.RemoteLatency*1e9, split.Remote*1e9)
+	ft.AddRow("ratio", m.NUMA.RemoteLatency/m.MemLatency, split.Ratio)
+	check(ft.Fprint(os.Stdout))
+	fmt.Printf("fit R2 = %.4f\n\n", split.R2)
+
+	// --- Step 3: the measured probe on the real host -----------------
+	// Small sweep: pages are placed by a pinned team under each policy,
+	// then chased from worker 0. Expect a visible split only on a real
+	// multi-socket NUMA machine.
+	ht := report.NewTable("Host placement probe (measured)",
+		"placement", "ws", "ns/access")
+	for _, p := range mem.Placements {
+		for _, ws := range []int{64 << 10, 4 << 20} {
+			res, err := mem.NUMAChase(mem.NUMAChaseConfig{
+				Bytes: ws, Iters: 1 << 16, Trials: 2, Policy: p,
+			})
+			check(err)
+			ht.AddRow(p.String(), report.Bytes(res.Bytes), res.Seconds*1e9)
+		}
+	}
+	check(ht.Fprint(os.Stdout))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -82,6 +82,35 @@ func bgpMem() *mem.Model {
 		LargePageBytes: 256 << 20, // PPC4xx supports up to 256 MiB entries
 		PageFaultCost:  4e-6,
 		Mode:           mem.BigMemory,
+		// The BG/P node pairs its L3 banks with two on-chip DDR2
+		// controllers. The access asymmetry is mild next to a
+		// socket-interconnect hop, but it is a two-node locality
+		// structure, modeled as a small local/remote split.
+		NUMA: mem.NUMA{Nodes: 2, RemoteLatency: 138 * ns, RemoteTLBCost: 60 * ns},
+	}
+}
+
+// opteronMem returns the memory-hierarchy model of a fat four-socket
+// Opteron (Barcelona-class) node — the canonical 2009 NUMA box, where
+// every socket owns a memory controller and a remote access crosses
+// one or two HyperTransport hops. Three cache levels exercise the
+// hierarchy fit harder than the two-level presets, and the pronounced
+// local/remote split (~1.7x) is what experiments M5/M6 characterize.
+func opteronMem() *mem.Model {
+	return &mem.Model{
+		Name: "opteron-barcelona",
+		Levels: []mem.Level{
+			{Name: "L1", Capacity: 64 << 10, Latency: 1.3 * ns},
+			{Name: "L2", Capacity: 512 << 10, Latency: 5.2 * ns},
+			{Name: "L3", Capacity: 2 << 20, Latency: 19 * ns},
+		},
+		MemLatency:     85 * ns,
+		TLB:            mem.TLB{Entries: 512, MissCost: 25 * ns},
+		PageBytes:      4 << 10,
+		LargePageBytes: 2 << 20,
+		PageFaultCost:  1.2e-6,
+		Mode:           mem.Paged,
+		NUMA:           mem.NUMA{Nodes: 4, RemoteLatency: 145 * ns, RemoteTLBCost: 30 * ns},
 	}
 }
 
@@ -181,10 +210,36 @@ func BGPRack() *Model {
 	}
 }
 
+// FatNUMANode returns a single fat four-socket NUMA node model
+// (Opteron Barcelona-class): every socket owns a memory controller, so
+// page placement relative to the executing core — first-touch,
+// interleaved, or remote — moves effective memory latency by the
+// local/remote split. The memory subsystem is the point of this
+// preset; it is the NUMA counterpart of the BG/P node's big-memory
+// story and the platform experiments M5/M6 lean on.
+func FatNUMANode() *Model {
+	self, isock, inode := sharedMemLinks()
+	return &Model{
+		Name: "fat-1n",
+		Topo: Topology{Nodes: 1, SocketsPerNode: 4, CoresPerSocket: 4},
+		Links: Links{
+			Self:        self,
+			IntraSocket: isock,
+			IntraNode:   inode,
+			InterNode:   IBParams(), // unused: single node
+		},
+		Placement:      Block,
+		MemBWPerSocket: 10.6 * gib,
+		MemBWPerCore:   3.5 * gib,
+		FlopsPerCore:   9.2e9, // 2.3 GHz x 4 flops/cycle
+		Mem:            opteronMem(),
+	}
+}
+
 // Presets returns all built-in platform models keyed by name.
 func Presets() map[string]*Model {
 	out := map[string]*Model{}
-	for _, m := range []*Model{GigECluster(), IBCluster(), SMPNode(), BigIBCluster(), BGPRack()} {
+	for _, m := range []*Model{GigECluster(), IBCluster(), SMPNode(), BigIBCluster(), BGPRack(), FatNUMANode()} {
 		out[m.Name] = m
 	}
 	return out

@@ -56,5 +56,48 @@ func TestPresetsSelfConsistent(t *testing.T) {
 		if bigReach <= pagedReach {
 			t.Errorf("preset %s: big-memory reach %d not above paged reach %d", name, bigReach, pagedReach)
 		}
+		// On NUMA presets the remote side of the split must cost more
+		// than local, and placement must actually move the modeled
+		// latency at memory-resident working sets.
+		if m.Mem.NUMA.Nodes > 1 {
+			ws := 64 << 20
+			local := m.Mem.Latency(ws, mem.BigMemory, mem.FirstTouch)
+			remote := m.Mem.Latency(ws, mem.BigMemory, mem.Remote)
+			if remote <= local {
+				t.Errorf("preset %s: remote placement latency %g not above local %g", name, remote, local)
+			}
+		}
+	}
+}
+
+// TestNUMAPresets pins the placement experiments' platform set: the
+// fat four-socket node and the BG/P node expose a NUMA axis, while the
+// commodity Harpertown presets (front-side-bus machines) stay UMA and
+// must reproduce their pre-NUMA latencies under every policy.
+func TestNUMAPresets(t *testing.T) {
+	presets := Presets()
+	fat, ok := presets["fat-1n"]
+	if !ok {
+		t.Fatal("fat-1n preset missing")
+	}
+	if fat.Mem.NUMA.Nodes != 4 {
+		t.Errorf("fat-1n has %d NUMA nodes, want 4", fat.Mem.NUMA.Nodes)
+	}
+	if got := presets["bgp-64n"].Mem.NUMA.Nodes; got != 2 {
+		t.Errorf("bgp-64n has %d NUMA nodes, want 2", got)
+	}
+	for _, name := range []string{"gige-8n", "ib-8n", "smp-1n", "ib-64n"} {
+		m := presets[name].Mem
+		if m.NUMA.Nodes > 1 {
+			t.Errorf("preset %s unexpectedly NUMA", name)
+			continue
+		}
+		ws := 64 << 20
+		base := m.WithMode(mem.Paged).LoadLatency(ws)
+		for _, p := range mem.Placements {
+			if got := m.Latency(ws, mem.Paged, p); got != base {
+				t.Errorf("UMA preset %s under %s: %g != %g", name, p, got, base)
+			}
+		}
 	}
 }

@@ -4,9 +4,10 @@
 // modeled platforms and renders its table or figure data to a writer.
 // Three families are registered: the tables T1-T4, the communication
 // and application figures F1-F16 (see DESIGN.md), and the
-// memory-hierarchy family M1-M4 (latency ladder, TLB stress, page-size
-// comparison, fitted-vs-truth; see internal/mem). cmd/charhpc runs the
-// whole registry; bench_test.go exposes one bench target per experiment.
+// memory-hierarchy family M1-M6 (latency ladder, TLB stress, page-size
+// comparison, fitted-vs-truth, NUMA placement ladder, placement
+// slowdown; see internal/mem). cmd/charhpc runs the whole registry;
+// bench_test.go exposes one bench target per experiment.
 package core
 
 import (

@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"T1", "T2", "T3", "T4",
 		"F1", "F2", "F3", "F4", "F5", "F6", "F7",
 		"F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16",
-		"M1", "M2", "M3", "M4",
+		"M1", "M2", "M3", "M4", "M5", "M6",
 	}
 	for _, id := range want {
 		e, ok := Get(id)
@@ -55,8 +55,13 @@ func TestAllOrdering(t *testing.T) {
 	if pos["F16"] > pos["M1"] {
 		t.Error("mixed-family ordering broken: F16 after M1")
 	}
-	if pos["M3"] > pos["M4"] {
-		t.Error("M-family ordering broken: M3 after M4")
+	if pos["M3"] > pos["M4"] || pos["M4"] > pos["M5"] {
+		t.Error("M-family ordering broken: M3/M4/M5 out of order")
+	}
+	// M6 is a figure and so sorts with the figure group, after the
+	// F-family figures.
+	if pos["F16"] > pos["M6"] {
+		t.Error("figure-group ordering broken: F16 after M6")
 	}
 	// M3/M4 are tables and so sort with the table group, before every
 	// figure, and alphabetically before the T family.
@@ -284,6 +289,105 @@ func TestM3BigMemoryWins(t *testing.T) {
 	}
 	if pagedRows != 3 {
 		t.Errorf("M3 has %d bgp-64n paged rows, want 3: %s", pagedRows, out)
+	}
+}
+
+// TestM5PlacementTable asserts the NUMA table covers every placement
+// policy on every NUMA platform, that remote placement shows a real
+// slowdown at memory-resident working sets, and that the fitted
+// local/remote split lands near the configured truth.
+func TestM5PlacementTable(t *testing.T) {
+	out := runExp(t, "M5")
+	for _, want := range []string{
+		"fat-1n", "bgp-64n", "first-touch", "interleave", "remote",
+		"NUMA split fitted vs truth",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("M5 missing %q", want)
+		}
+	}
+	// Ladder rows: platform mode ws placement latency slowdown.
+	remoteRows := 0
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) != 6 || f[0] != "fat-1n" || f[3] != "remote" {
+			continue
+		}
+		remoteRows++
+		slowdown, err := strconv.ParseFloat(f[5], 64)
+		if err != nil {
+			t.Errorf("M5 unparsable slowdown in %q", line)
+			continue
+		}
+		if f[2] == "1GiB" && slowdown <= 1.2 {
+			t.Errorf("M5 fat-1n remote %s/%s slowdown = %v, want > 1.2", f[1], f[2], slowdown)
+		}
+	}
+	if remoteRows != 6 { // 2 modes x 3 working sets
+		t.Errorf("M5 has %d fat-1n remote rows, want 6: %s", remoteRows, out)
+	}
+	// Fit rows: platform tl fl tr fr tratio fratio R2 — the recovered
+	// ratio must be within 10% of truth on every platform.
+	fitRows := 0
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) != 8 || (f[0] != "fat-1n" && f[0] != "bgp-64n") {
+			continue
+		}
+		fitRows++
+		trueRatio, err1 := strconv.ParseFloat(f[5], 64)
+		fitRatio, err2 := strconv.ParseFloat(f[6], 64)
+		if err1 != nil || err2 != nil {
+			t.Errorf("M5 unparsable fit row %q", line)
+			continue
+		}
+		if e := (fitRatio - trueRatio) / trueRatio; e > 0.1 || e < -0.1 {
+			t.Errorf("M5 %s fitted ratio %v vs truth %v (>10%% off)", f[0], fitRatio, trueRatio)
+		}
+	}
+	if fitRows != 2 {
+		t.Errorf("M5 has %d fit rows, want 2: %s", fitRows, out)
+	}
+}
+
+// TestM6SlowdownShape asserts the slowdown figure has the interleave
+// and remote series for every NUMA platform and that remote slowdown
+// starts at ~1 for cache-resident sets and ends above interleave's.
+func TestM6SlowdownShape(t *testing.T) {
+	out := runExp(t, "M6")
+	for _, series := range []string{
+		"fat-1n/paged/interleave", "fat-1n/paged/remote",
+		"bgp-64n/bigmem/interleave", "bgp-64n/bigmem/remote",
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("M6 missing series %s", series)
+		}
+	}
+	last := map[string]float64{}
+	first := map[string]float64{}
+	for _, line := range strings.Split(out, "\n") {
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := strings.TrimSpace(parts[0])
+		y, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil {
+			continue
+		}
+		if _, ok := first[name]; !ok {
+			first[name] = y
+		}
+		last[name] = y
+	}
+	for _, series := range []string{"fat-1n/paged/interleave", "fat-1n/paged/remote"} {
+		if f := first[series]; f < 0.999 || f > 1.001 {
+			t.Errorf("M6 %s starts at %v, want ~1 (cache-resident)", series, f)
+		}
+	}
+	if !(last["fat-1n/paged/remote"] > last["fat-1n/paged/interleave"]) {
+		t.Errorf("M6 remote tail %v not above interleave tail %v",
+			last["fat-1n/paged/remote"], last["fat-1n/paged/interleave"])
 	}
 }
 

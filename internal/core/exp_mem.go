@@ -5,7 +5,11 @@ package core
 // the ladder and TLB figures, M3 is the page-size / big-memory
 // comparison table, and M4 closes the loop by fitting the analytic
 // model's own ladder and reporting recovery error, mirroring the F13
-// fitted-vs-truth pattern for LogGP.
+// fitted-vs-truth pattern for LogGP. M5 and M6 add the NUMA axis: the
+// placement latency ladder with local/remote split recovery (table)
+// and the placement slowdown vs working set (figure). M3-M6 are purely
+// modeled and therefore byte-deterministic; M1/M2 include host
+// measurements.
 
 import (
 	"fmt"
@@ -26,12 +30,29 @@ func init() {
 		Title: "Page-size / big-memory comparison (modeled latency and reach)"})
 	register(Experiment{ID: "M4", Kind: "table", Run: runM4,
 		Title: "Memory model fitted-vs-truth (hierarchy recovery from ladders)"})
+	register(Experiment{ID: "M5", Kind: "table", Run: runM5,
+		Title: "NUMA placement latency ladder with local/remote split recovery"})
+	register(Experiment{ID: "M6", Kind: "figure", Run: runM6,
+		Title: "NUMA placement slowdown vs working set (modeled)"})
 }
 
 // memPlatforms returns the presets the M experiments model: the
 // commodity SMP node and the big-memory (BG/P-class) node.
 func memPlatforms() []*cluster.Model {
 	return []*cluster.Model{cluster.SMPNode(), cluster.BGPRack()}
+}
+
+// numaPlatforms returns the presets with a multi-node NUMA structure,
+// the ones the placement experiments can say anything about: the fat
+// four-socket node and the dual-controller BG/P node.
+func numaPlatforms() []*cluster.Model {
+	var out []*cluster.Model
+	for _, m := range []*cluster.Model{cluster.FatNUMANode(), cluster.BGPRack()} {
+		if m.Mem != nil && m.Mem.NUMA.Nodes > 1 {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // runM1 renders the latency ladder: a measured pointer-chase sweep on
@@ -166,4 +187,74 @@ func runM4(w io.Writer, s Scale) error {
 			perfmodel.RelErr(fit.MemLatency, mm.MemLatency)*100, fit.R2)
 	}
 	return t.Fprint(w)
+}
+
+// runM5 tabulates what page placement costs on each NUMA platform —
+// modeled latency and slowdown per (mode, working set, placement) —
+// then closes the loop like M4: a first-touch and a remote ladder are
+// generated from each model and perfmodel.FitNUMASplit recovers the
+// local/remote memory-latency split, compared against configured truth.
+func runM5(w io.Writer, s Scale) error {
+	t := report.NewTable("NUMA placement latency ladder",
+		"platform", "mode", "ws", "placement", "latency (ns)", "slowdown")
+	workingSets := []int{1 << 20, 64 << 20, 1 << 30}
+	for _, m := range numaPlatforms() {
+		for _, mode := range []mem.Mode{mem.Paged, mem.BigMemory} {
+			for _, ws := range workingSets {
+				for _, p := range mem.Placements {
+					t.AddRow(m.Name, mode.String(), report.Bytes(ws), p.String(),
+						m.Mem.Latency(ws, mode, p)*1e9,
+						m.Mem.PlacementSlowdown(ws, mode, p))
+				}
+			}
+		}
+	}
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+
+	ppo := 4
+	if s == Full {
+		ppo = 8
+	}
+	ft := report.NewTable("NUMA split fitted vs truth",
+		"platform", "true local", "fit local", "true remote", "fit remote",
+		"true ratio", "fit ratio", "R2")
+	for _, m := range numaPlatforms() {
+		split, err := perfmodel.FitNUMASplitFromModel(m.Mem, ppo)
+		if err != nil {
+			return fmt.Errorf("numa split %s: %w", m.Name, err)
+		}
+		trueRatio := m.Mem.NUMA.RemoteLatency / m.Mem.MemLatency
+		ft.AddRow(m.Name,
+			m.Mem.MemLatency*1e9, split.Local*1e9,
+			m.Mem.NUMA.RemoteLatency*1e9, split.Remote*1e9,
+			trueRatio, split.Ratio, split.R2)
+	}
+	return ft.Fprint(w)
+}
+
+// runM6 renders the placement slowdown curve: for each NUMA platform
+// in its default mapping mode, the interleave and remote slowdown
+// relative to first-touch as the working set grows. Cache-resident
+// sets sit at 1; the curves rise through the capacity knees toward the
+// placement's memory-latency ratio.
+func runM6(w io.Writer, s Scale) error {
+	fig := report.NewFigure("NUMA placement slowdown",
+		"working set (bytes)", "slowdown vs first-touch")
+	ppo := 2
+	if s == Full {
+		ppo = 4
+	}
+	for _, m := range numaPlatforms() {
+		mm := m.Mem
+		maxBytes := 16 * mm.Levels[len(mm.Levels)-1].Capacity
+		for _, p := range []mem.Placement{mem.Interleave, mem.Remote} {
+			series := fig.AddSeries(fmt.Sprintf("%s/%s/%s", m.Name, mm.Mode, p))
+			for _, sz := range mem.SweepSizes(4<<10, maxBytes, ppo, 64) {
+				series.Add(float64(sz), mm.PlacementSlowdown(sz, mm.Mode, p))
+			}
+		}
+	}
+	return fig.Fprint(w)
 }

@@ -41,7 +41,7 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	// ones (T4, F5, ...) are nondeterministic run-to-run even
 	// serially, so byte-identity is only meaningful where the
 	// underlying experiment is deterministic.
-	ids := []string{"T1", "M3", "M4"}
+	ids := []string{"T1", "M3", "M4", "M5", "M6"}
 	serial := map[string]string{}
 	for _, id := range ids {
 		e, _ := Get(id)

@@ -106,6 +106,15 @@ func Chase(cfg ChaseConfig) (ChaseResult, error) {
 // span — the TLB stress pattern uses it to spread lines across cache
 // sets. It returns the buffer and the start index of the cycle.
 func buildCycle(nslots, spaceWords, jitterWords int, seed uint64) ([]uint32, uint32) {
+	buf := make([]uint32, nslots*spaceWords)
+	return buf, linkCycle(buf, nslots, spaceWords, jitterWords, seed)
+}
+
+// linkCycle writes the random-cycle links into an existing buffer and
+// returns the cycle's start index. It is split from buildCycle so the
+// NUMA probe can fault the buffer's pages in under a placement policy
+// first: linking only rewrites already-placed pages (see numa.go).
+func linkCycle(buf []uint32, nslots, spaceWords, jitterWords int, seed uint64) uint32 {
 	pos := func(slot int) uint32 {
 		off := 0
 		if jitterWords > 0 {
@@ -113,7 +122,6 @@ func buildCycle(nslots, spaceWords, jitterWords int, seed uint64) ([]uint32, uin
 		}
 		return uint32(slot*spaceWords + off)
 	}
-	buf := make([]uint32, nslots*spaceWords)
 
 	// Random permutation of the slots = visit order around the cycle.
 	order := make([]int32, nslots)
@@ -131,7 +139,7 @@ func buildCycle(nslots, spaceWords, jitterWords int, seed uint64) ([]uint32, uin
 		next := order[(i+1)%nslots]
 		buf[pos(int(order[i]))] = pos(int(next))
 	}
-	return buf, pos(int(order[0]))
+	return pos(int(order[0]))
 }
 
 // walk performs n dependent loads starting at cursor p. The body is

@@ -9,21 +9,30 @@
 // throughout the harness:
 //
 //   - Probe kernels that run on the host: a pointer-chase latency ladder
-//     over working-set sweeps (Chase, Ladder) and a TLB-stress pattern
-//     that touches one cache line per page (TLBStress). The chase follows
-//     a random-cycle permutation, so every load depends on the previous
-//     one and hardware prefetchers see no usable stride.
+//     over working-set sweeps (Chase, Ladder), a TLB-stress pattern
+//     that touches one cache line per page (TLBStress), and a NUMA
+//     placement probe that faults the working set in from pinned worker
+//     teams under a placement policy before chasing it (NUMAChase,
+//     NUMALadder). The chase follows a random-cycle permutation, so
+//     every load depends on the previous one and hardware prefetchers
+//     see no usable stride.
 //
 //   - An analytic Model (model.go) attached to every platform preset in
 //     internal/cluster, so that modeled platforms answer memory probes
 //     just like their LogGP parameters answer network probes. The model
-//     predicts per-access latency from cache level capacities, TLB reach
-//     and page-size mode (BigMemory vs Paged).
+//     predicts per-access latency from cache level capacities, TLB
+//     reach, and two orthogonal mapping axes: the page-size mode
+//     (BigMemory vs Paged) and, on multi-node machines (NUMA), the page
+//     Placement policy (FirstTouch, Interleave, Remote) — see
+//     Model.Latency. A single-node model reproduces its pre-NUMA
+//     latencies bit-for-bit under every policy.
 //
 // internal/perfmodel closes the loop: FitHierarchy recovers level
 // capacities and latencies from a measured or modeled ladder by
-// knee-point detection, and experiment M4 compares the fit against the
-// model's configured truth.
+// knee-point detection (experiment M4 compares the fit against the
+// model's configured truth), and FitNUMASplit recovers the local/remote
+// memory-latency split from a pair of placement-controlled ladders
+// (experiment M5 does the same for the NUMA axis).
 package mem
 
 // Sample is one point of a latency ladder: the average time of a single

@@ -27,6 +27,60 @@ func (m Mode) String() string {
 	return "paged"
 }
 
+// Placement selects where a working set's pages land relative to the
+// executing core's NUMA node — the second mapping axis, orthogonal to
+// Mode. On a single-node (UMA) model every policy is equivalent.
+type Placement int
+
+const (
+	// FirstTouch binds every page to the node of the thread that
+	// faults it in; a working set initialized by its consumer is
+	// entirely local (the Linux default policy, and what the pinned
+	// first-touch initialization in the measured probe reproduces).
+	FirstTouch Placement = iota
+	// Interleave round-robins pages across all nodes, so 1/Nodes of
+	// accesses are local and the rest pay the remote latency.
+	Interleave
+	// Remote places every page on a node other than the executing
+	// core's — the worst case, reached in practice when one thread
+	// initializes memory that a thread on another node then consumes.
+	Remote
+)
+
+// Placements lists the policies in model order: the local baseline
+// first, then the mixed and fully remote cases.
+var Placements = []Placement{FirstTouch, Interleave, Remote}
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case Interleave:
+		return "interleave"
+	case Remote:
+		return "remote"
+	default:
+		return "first-touch"
+	}
+}
+
+// NUMA describes the node-level locality structure of a modeled
+// machine: how many NUMA nodes share the address space and what a
+// remote access costs. The zero value (Nodes <= 1) is a UMA machine:
+// every Placement is equivalent and the model reproduces its pre-NUMA
+// latencies exactly.
+type NUMA struct {
+	// Nodes is the NUMA node count; 0 or 1 means UMA.
+	Nodes int
+	// RemoteLatency is the latency of a load served by another node's
+	// memory, in seconds. It replaces MemLatency for the remote
+	// fraction of accesses and must exceed it.
+	RemoteLatency float64
+	// RemoteTLBCost is the extra page-walk cost when the walk's
+	// page-table accesses cross the node interconnect, in seconds,
+	// added to TLB.MissCost for the remote fraction of accesses.
+	RemoteTLBCost float64
+}
+
 // Level is one cache level of the modeled hierarchy.
 type Level struct {
 	Name     string
@@ -60,6 +114,13 @@ type Model struct {
 	PageFaultCost float64
 	// Mode is the platform's default mapping mode.
 	Mode Mode
+	// NUMA is the node-level locality structure; the zero value is a
+	// UMA machine.
+	NUMA NUMA
+	// Placement is the platform's default page-placement policy. The
+	// zero value, FirstTouch, keeps every access local, so UMA models
+	// need not set it.
+	Placement Placement
 }
 
 // Validate checks the model is internally consistent.
@@ -93,6 +154,18 @@ func (m *Model) Validate() error {
 	if m.PageFaultCost < 0 {
 		return fmt.Errorf("mem: model %q negative page-fault cost", m.Name)
 	}
+	if m.NUMA.Nodes < 0 {
+		return fmt.Errorf("mem: model %q negative NUMA node count %d", m.Name, m.NUMA.Nodes)
+	}
+	if m.NUMA.Nodes > 1 {
+		if m.NUMA.RemoteLatency <= m.MemLatency {
+			return fmt.Errorf("mem: model %q remote latency %g not above local %g",
+				m.Name, m.NUMA.RemoteLatency, m.MemLatency)
+		}
+		if m.NUMA.RemoteTLBCost < 0 {
+			return fmt.Errorf("mem: model %q negative remote TLB cost", m.Name)
+		}
+	}
 	return nil
 }
 
@@ -101,6 +174,53 @@ func (m *Model) WithMode(mode Mode) *Model {
 	c := *m
 	c.Mode = mode
 	return &c
+}
+
+// WithPlacement returns a copy of the model switched to the given
+// page-placement policy.
+func (m *Model) WithPlacement(p Placement) *Model {
+	c := *m
+	c.Placement = p
+	return &c
+}
+
+// localFraction is the modeled fraction of memory accesses served by
+// the executing core's own node under the current placement policy. A
+// UMA model (Nodes <= 1) is always fully local, whatever the policy.
+func (m *Model) localFraction() float64 {
+	if m.NUMA.Nodes <= 1 {
+		return 1
+	}
+	switch m.Placement {
+	case Interleave:
+		return 1 / float64(m.NUMA.Nodes)
+	case Remote:
+		return 0
+	default: // FirstTouch
+		return 1
+	}
+}
+
+// effMemLatency is the placement-weighted memory latency. The fully
+// local case returns MemLatency itself (not a weighted sum), so UMA
+// models and first-touch placement reproduce pre-NUMA latencies
+// bit-for-bit.
+func (m *Model) effMemLatency() float64 {
+	f := m.localFraction()
+	if f == 1 {
+		return m.MemLatency
+	}
+	return f*m.MemLatency + (1-f)*m.NUMA.RemoteLatency
+}
+
+// effTLBMissCost is the placement-weighted page-walk cost: the walk's
+// own memory accesses cross the interconnect for the remote fraction.
+func (m *Model) effTLBMissCost() float64 {
+	f := m.localFraction()
+	if f == 1 {
+		return m.TLB.MissCost
+	}
+	return m.TLB.MissCost + (1-f)*m.NUMA.RemoteTLBCost
 }
 
 // PageSize returns the page size of the current mode.
@@ -143,9 +263,28 @@ func (m *Model) LoadLatency(ws int) float64 {
 			covered = f
 		}
 	}
-	lat += (1 - covered) * m.MemLatency
-	lat += (1 - occupancy(ws, m.TLBReach())) * m.TLB.MissCost
+	lat += (1 - covered) * m.effMemLatency()
+	lat += (1 - occupancy(ws, m.TLBReach())) * m.effTLBMissCost()
 	return lat
+}
+
+// Latency answers the full modeled question in one call: the expected
+// per-access latency of a random dependent chase over ws bytes under
+// the given mapping mode and page-placement policy. It is equivalent
+// to m.WithMode(mode).WithPlacement(p).LoadLatency(ws); the receiver's
+// own Mode and Placement are ignored.
+func (m *Model) Latency(ws int, mode Mode, p Placement) float64 {
+	c := *m
+	c.Mode, c.Placement = mode, p
+	return c.LoadLatency(ws)
+}
+
+// PlacementSlowdown returns the modeled cost of a placement policy at
+// one working set: Latency under p divided by Latency under the
+// all-local FirstTouch baseline, in the same mapping mode. It is
+// exactly 1 on UMA models and for cache-resident working sets.
+func (m *Model) PlacementSlowdown(ws int, mode Mode, p Placement) float64 {
+	return m.Latency(ws, mode, p) / m.Latency(ws, mode, FirstTouch)
 }
 
 // FirstTouchCost returns the modeled one-time cost of faulting in a

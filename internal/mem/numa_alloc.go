@@ -1,0 +1,31 @@
+package mem
+
+import (
+	"os"
+	"unsafe"
+)
+
+// osPageBytes is the granularity placement faulting assumes — the
+// host's real base page size, not an x86 assumption: on 16K/64K-page
+// kernels (arm64 distros, ppc64le) a 4096-byte unit would stripe
+// several "placement pages" into one real page, whose node binding
+// would then go to whichever worker faulted it first.
+var (
+	osPageBytes = os.Getpagesize()
+	osPageWords = osPageBytes / 4
+)
+
+// allocAligned is the portable probe-buffer allocator: a make()-backed
+// slice re-sliced to start on an OS page boundary. Alignment is exact,
+// but the Go allocator may hand back a reused span whose pages were
+// already faulted in (and zeroed) by another thread, so page placement
+// through this path is best-effort — the mmap path (numa_alloc_unix.go)
+// is what guarantees untouched pages.
+func allocAligned(words int) ([]uint32, func()) {
+	raw := make([]uint32, words+osPageWords-1)
+	off := 0
+	if r := uintptr(unsafe.Pointer(&raw[0])) % uintptr(osPageBytes); r != 0 {
+		off = int((uintptr(osPageBytes) - r) / 4)
+	}
+	return raw[off : off+words : off+words], func() {}
+}

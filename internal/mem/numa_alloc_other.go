@@ -1,0 +1,7 @@
+//go:build !unix
+
+package mem
+
+// allocPages falls back to the aligned heap allocator where anonymous
+// mmap is not portable; see allocAligned for the weaker guarantee.
+func allocPages(words int) ([]uint32, func()) { return allocAligned(words) }

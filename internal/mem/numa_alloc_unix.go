@@ -1,0 +1,28 @@
+//go:build unix
+
+package mem
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// allocPages returns a page-aligned buffer of words uint32s whose
+// pages have never been touched, plus the function that releases it.
+// Fresh anonymous mmap is what makes the placement policies real: the
+// kernel defers both the zero-fill and the node binding of each page
+// to its first fault, so the policy-chosen worker that writes first
+// genuinely decides where the page lives. A make()-backed buffer
+// cannot promise that (the allocator zeroes reused spans on the
+// allocating thread), hence the allocAligned fallback is only for
+// platforms or failures where mmap is unavailable.
+func allocPages(words int) ([]uint32, func()) {
+	b, err := syscall.Mmap(-1, 0, words*4,
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_ANON|syscall.MAP_PRIVATE)
+	if err != nil || len(b) < words*4 {
+		return allocAligned(words)
+	}
+	buf := unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), words)
+	return buf, func() { syscall.Munmap(b) }
+}

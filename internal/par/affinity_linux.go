@@ -1,0 +1,168 @@
+//go:build linux
+
+package par
+
+import (
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// cpuMaskWords covers 1024 CPUs, the kernel's conventional cpu_set_t;
+// allowedCPUs grows its mask past this when the kernel asks for more.
+const cpuMaskWords = 16
+
+// nodeCPUs holds, per NUMA node that has any allowed CPU, the CPUs of
+// that node this process may run on — read once from sysfs. A single
+// entry (all allowed CPUs) means UMA or unreadable topology.
+var (
+	nodeOnce sync.Once
+	nodeCPUs [][]int
+)
+
+// getAffinityMask reads the calling OS thread's scheduler affinity
+// mask. The kernel rejects buffers smaller than its own CPU mask with
+// EINVAL, so the buffer is doubled until it fits (glibc's approach) —
+// without this, hosts with more than 1024 logical CPUs would silently
+// lose affinity support. Returns nil on failure.
+func getAffinityMask() []uint64 {
+	for words := cpuMaskWords; words <= 1<<12; words *= 2 {
+		mask := make([]uint64, words)
+		_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+			0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+		if errno == syscall.EINVAL {
+			continue
+		}
+		if errno != 0 {
+			return nil
+		}
+		return mask
+	}
+	return nil
+}
+
+// allowedCPUs returns the CPUs the process may run on, in ascending
+// order, from the scheduler's affinity mask.
+func allowedCPUs() []int {
+	mask := getAffinityMask()
+	var cpus []int
+	for i, m := range mask {
+		for b := 0; b < 64; b++ {
+			if m&(1<<b) != 0 {
+				cpus = append(cpus, i*64+b)
+			}
+		}
+	}
+	return cpus
+}
+
+// parseCPUList parses the kernel's cpulist format ("0-3,8,10-11").
+func parseCPUList(s string) []int {
+	var cpus []int
+	for _, part := range strings.Split(strings.TrimSpace(s), ",") {
+		if part == "" {
+			continue
+		}
+		lo, hi, ok := strings.Cut(part, "-")
+		a, err := strconv.Atoi(lo)
+		if err != nil {
+			continue
+		}
+		b := a
+		if ok {
+			if b, err = strconv.Atoi(hi); err != nil {
+				continue
+			}
+		}
+		for c := a; c <= b; c++ {
+			cpus = append(cpus, c)
+		}
+	}
+	return cpus
+}
+
+// initNodes builds nodeCPUs from /sys/devices/system/node: each
+// node's cpulist intersected with the process's allowed CPUs. Node
+// directories are enumerated (not counted up from zero) because node
+// IDs may be sparse — offline or hot-removed nodes leave gaps.
+// Memory-only nodes (empty cpulist) and nodes the process may not run
+// on are skipped. Anything unreadable degrades to one flat group.
+func initNodes() {
+	allowed := allowedCPUs()
+	allowedSet := make(map[int]bool, len(allowed))
+	for _, c := range allowed {
+		allowedSet[c] = true
+	}
+	const nodeRoot = "/sys/devices/system/node"
+	var ids []int
+	if entries, err := os.ReadDir(nodeRoot); err == nil {
+		for _, e := range entries {
+			if num, ok := strings.CutPrefix(e.Name(), "node"); ok {
+				if id, err := strconv.Atoi(num); err == nil {
+					ids = append(ids, id)
+				}
+			}
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		b, err := os.ReadFile(nodeRoot + "/node" + strconv.Itoa(id) + "/cpulist")
+		if err != nil {
+			continue
+		}
+		var cpus []int
+		for _, c := range parseCPUList(string(b)) {
+			if allowedSet[c] {
+				cpus = append(cpus, c)
+			}
+		}
+		if len(cpus) > 0 {
+			nodeCPUs = append(nodeCPUs, cpus)
+		}
+	}
+	if len(nodeCPUs) < 2 {
+		nodeCPUs = nil
+		if len(allowed) > 0 {
+			nodeCPUs = [][]int{allowed}
+		}
+	}
+}
+
+// NUMANodes returns the number of NUMA nodes the process can execute
+// on (1 on UMA machines, off Linux, or when sysfs is unreadable). The
+// NUMA probe in internal/mem sizes its pinned teams with this so that
+// "one worker per node" holds by default.
+func NUMANodes() int {
+	nodeOnce.Do(initNodes)
+	if len(nodeCPUs) == 0 {
+		return 1
+	}
+	return len(nodeCPUs)
+}
+
+// pinToCPU binds the calling OS thread to one CPU chosen so a pinned
+// team spreads across the machine's NUMA nodes: worker w lands on node
+// w mod nodes (distinct CPUs within a node for w beyond the node
+// count), so a team sized NUMANodes() has exactly one worker per node
+// and worker-indexed placement policies become node placement. On UMA
+// (or unknown topology) workers take distinct allowed CPUs round-robin.
+// Must be called from a LockOSThread'd goroutine; failures leave the
+// thread's mask unchanged, degrading to plain LockOSThread behavior.
+func pinToCPU(w int) {
+	nodeOnce.Do(initNodes)
+	if len(nodeCPUs) == 0 {
+		return
+	}
+	node := nodeCPUs[w%len(nodeCPUs)]
+	cpu := node[(w/len(nodeCPUs))%len(node)]
+	// Sized to the target CPU: the kernel accepts set masks shorter
+	// than its own, so only the word holding the bit must exist.
+	one := make([]uint64, cpu/64+1)
+	one[cpu/64] = 1 << (cpu % 64)
+	syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(one)*8), uintptr(unsafe.Pointer(&one[0])))
+}

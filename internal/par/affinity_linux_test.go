@@ -1,0 +1,111 @@
+//go:build linux
+
+package par
+
+import (
+	"runtime"
+	"syscall"
+	"testing"
+	"unsafe"
+)
+
+// threadAffinityCount returns how many CPUs the calling OS thread may
+// run on, or -1 if the mask cannot be read. It reports instead of
+// failing — it runs on team worker goroutines, where t.Fatal would
+// leave the other worker stuck at the team barrier.
+func threadAffinityCount() int {
+	mask := getAffinityMask()
+	if mask == nil {
+		return -1
+	}
+	n := 0
+	for _, m := range mask {
+		for ; m != 0; m &= m - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// canSetAffinity reports whether sched_setaffinity works at all here
+// (sandboxes and seccomp profiles may deny it), by re-applying the
+// current thread's own mask.
+func canSetAffinity() bool {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	mask := getAffinityMask()
+	if mask == nil {
+		return false
+	}
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	return errno == 0
+}
+
+func TestParseCPUList(t *testing.T) {
+	cases := map[string][]int{
+		"0-3\n":      {0, 1, 2, 3},
+		"0-1,4,6-7":  {0, 1, 4, 6, 7},
+		"5":          {5},
+		"":           nil,
+		"\n":         nil,
+		"bogus,2-3":  {2, 3},
+		"1-x,0":      {0},
+		"0-15,32-33": append(seq(0, 15), 32, 33),
+	}
+	for in, want := range cases {
+		got := parseCPUList(in)
+		if len(got) != len(want) {
+			t.Errorf("parseCPUList(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("parseCPUList(%q) = %v, want %v", in, got, want)
+				break
+			}
+		}
+	}
+}
+
+func seq(lo, hi int) []int {
+	var out []int
+	for i := lo; i <= hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// TestNUMANodesSane asserts the topology reader yields a usable node
+// count on any Linux host: at least one node, and never more nodes
+// than allowed CPUs (one worker per node must be placeable).
+func TestNUMANodesSane(t *testing.T) {
+	n := NUMANodes()
+	if n < 1 {
+		t.Fatalf("NUMANodes() = %d", n)
+	}
+	if a := len(allowedCPUs()); a > 0 && n > a {
+		t.Errorf("NUMANodes() = %d exceeds %d allowed CPUs", n, a)
+	}
+}
+
+// TestPinnedTeamBindsCPUs asserts each pinned worker's OS thread ends
+// up bound to exactly one CPU — the property that keeps the NUMA
+// probe's faulting and chasing threads from migrating across sockets.
+// Environments that deny the affinity syscalls skip: pinToCPU
+// documents that failure degrades to plain LockOSThread behavior.
+func TestPinnedTeamBindsCPUs(t *testing.T) {
+	team := NewPinnedTeam(2)
+	defer team.Close()
+	counts := make([]int, team.Size())
+	team.Run(func(w int) { counts[w] = threadAffinityCount() })
+	for w, n := range counts {
+		if n == 1 {
+			continue
+		}
+		if n < 0 || !canSetAffinity() {
+			t.Skipf("affinity syscalls unavailable here (worker %d count %d); pinning degrades to LockOSThread as documented", w, n)
+		}
+		t.Errorf("pinned worker %d runnable on %d CPUs, want 1", w, n)
+	}
+}

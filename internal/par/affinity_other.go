@@ -1,0 +1,12 @@
+//go:build !linux
+
+package par
+
+// NUMANodes reports 1 off Linux: without a portable topology source,
+// every machine is treated as a single node.
+func NUMANodes() int { return 1 }
+
+// pinToCPU is a no-op off Linux: pinned teams still lock workers to OS
+// threads, but per-CPU affinity is not portable, so placement there is
+// whatever the OS scheduler does with the locked threads.
+func pinToCPU(int) {}

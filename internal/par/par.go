@@ -1,7 +1,10 @@
 // Package par is the shared-memory threading runtime used where the
 // original study used OpenMP. It provides parallel-for loops over index
 // ranges with the three classic schedules (static, dynamic, guided),
-// persistent worker teams with barriers, and parallel reductions.
+// persistent worker teams with barriers (Team), pinned teams whose
+// workers are locked to OS threads (NewPinnedTeam, the analogue of
+// OMP_PROC_BIND, which the NUMA placement probe in internal/mem builds
+// on), and parallel reductions.
 //
 // The design mirrors an OpenMP runtime closely enough that scheduling
 // effects measured by the benchmarks (static imbalance vs dynamic

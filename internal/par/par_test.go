@@ -313,3 +313,43 @@ func TestScheduleString(t *testing.T) {
 		t.Error("unknown schedule string wrong")
 	}
 }
+
+// TestPinnedTeam asserts a pinned team behaves like a regular team —
+// every worker runs, static loops cover the range — while reporting
+// its pinning, which the NUMA probe in internal/mem relies on.
+func TestPinnedTeam(t *testing.T) {
+	team := NewPinnedTeam(3)
+	defer team.Close()
+	if !team.Pinned() {
+		t.Error("NewPinnedTeam not pinned")
+	}
+	if team.Size() != 3 {
+		t.Errorf("size = %d, want 3", team.Size())
+	}
+	var ran [3]int32
+	team.Run(func(w int) { atomic.AddInt32(&ran[w], 1) })
+	for w, n := range ran {
+		if n != 1 {
+			t.Errorf("worker %d ran %d times, want 1", w, n)
+		}
+	}
+	var sum int64
+	var mu sync.Mutex
+	team.ForStatic(100, func(lo, hi, _ int) {
+		local := int64(0)
+		for i := lo; i < hi; i++ {
+			local += int64(i)
+		}
+		mu.Lock()
+		sum += local
+		mu.Unlock()
+	})
+	if sum != 4950 {
+		t.Errorf("pinned ForStatic sum = %d, want 4950", sum)
+	}
+	plain := NewTeam(2)
+	defer plain.Close()
+	if plain.Pinned() {
+		t.Error("NewTeam reports pinned")
+	}
+}

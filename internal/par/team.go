@@ -2,6 +2,7 @@ package par
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 )
 
@@ -12,6 +13,7 @@ import (
 // the loop body plus a barrier, matching how OpenMP runtimes behave.
 type Team struct {
 	n       int
+	pinned  bool
 	work    []chan func(worker int)
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -21,12 +23,29 @@ type Team struct {
 
 // NewTeam starts a team of n workers (n<=0 means DefaultThreads()).
 // The caller must Close the team when finished with it.
-func NewTeam(n int) *Team {
+func NewTeam(n int) *Team { return newTeam(n, false) }
+
+// NewPinnedTeam starts a team whose workers are locked to their OS
+// threads (runtime.LockOSThread) for the team's lifetime and, on
+// Linux, bound round-robin to distinct allowed CPUs
+// (sched_setaffinity) — the Go analogue of OpenMP thread pinning
+// (OMP_PROC_BIND). Pinning is what makes NUMA placement observable: on
+// first-touch operating systems a page stays on the node of the thread
+// that faulted it in, so a probe that first-touches from one pinned
+// worker and chases from another measures a stable local/remote
+// relationship instead of whichever core the scheduler migrated the
+// thread onto. Off Linux (or when setting affinity fails) workers are
+// thread-locked but not CPU-bound, so placement is best-effort. See
+// mem.NUMAChase for the probe this was built for.
+func NewPinnedTeam(n int) *Team { return newTeam(n, true) }
+
+func newTeam(n int, pinned bool) *Team {
 	if n <= 0 {
 		n = DefaultThreads()
 	}
 	t := &Team{
 		n:       n,
+		pinned:  pinned,
 		work:    make([]chan func(int), n),
 		done:    make(chan struct{}),
 		barrier: NewBarrier(n),
@@ -41,6 +60,16 @@ func NewTeam(n int) *Team {
 
 func (t *Team) worker(w int) {
 	defer t.wg.Done()
+	if t.pinned {
+		// Lock for the worker's whole lifetime, and deliberately never
+		// unlock: pinToCPU narrows this OS thread's affinity to one
+		// CPU, and exiting the goroutine while still locked makes the
+		// runtime destroy the thread rather than return it — with the
+		// single-CPU mask intact — to the scheduler pool, where it
+		// would silently confine unrelated goroutines after Close.
+		runtime.LockOSThread()
+		pinToCPU(w)
+	}
 	for {
 		select {
 		case f := <-t.work[w]:
@@ -53,6 +82,9 @@ func (t *Team) worker(w int) {
 
 // Size returns the number of workers in the team.
 func (t *Team) Size() int { return t.n }
+
+// Pinned reports whether the team's workers are locked to OS threads.
+func (t *Team) Pinned() bool { return t.pinned }
 
 // Run executes body(worker) on every worker and blocks until all return.
 // Panics in the body are re-raised on the calling goroutine.

@@ -1,0 +1,83 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func numaTestModel() *mem.Model {
+	return &mem.Model{
+		Name: "numa-test",
+		Levels: []mem.Level{
+			{Name: "L1", Capacity: 32 << 10, Latency: 1.5e-9},
+			{Name: "L2", Capacity: 4 << 20, Latency: 6e-9},
+		},
+		MemLatency:     80e-9,
+		TLB:            mem.TLB{Entries: 512, MissCost: 20e-9},
+		PageBytes:      4 << 10,
+		LargePageBytes: 1 << 30,
+		Mode:           mem.BigMemory, // reach covers the sweep: clean plateaus
+		NUMA:           mem.NUMA{Nodes: 2, RemoteLatency: 150e-9, RemoteTLBCost: 25e-9},
+	}
+}
+
+// TestFitNUMASplitRecoversModel closes the M5 loop in isolation: the
+// split fitted from a model's own first-touch and remote ladders must
+// recover the configured local/remote latencies within a few percent.
+func TestFitNUMASplitRecoversModel(t *testing.T) {
+	m := numaTestModel()
+	maxBytes := 8 * m.Levels[len(m.Levels)-1].Capacity
+	local := m.WithPlacement(mem.FirstTouch).Ladder(4<<10, maxBytes, 4)
+	remote := m.WithPlacement(mem.Remote).Ladder(4<<10, maxBytes, 4)
+	s, err := FitNUMASplit(local, remote, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := RelErr(s.Local, m.MemLatency); e > 0.05 {
+		t.Errorf("local %.3gns vs true %.3gns (err %.1f%%)", s.Local*1e9, m.MemLatency*1e9, e*100)
+	}
+	if e := RelErr(s.Remote, m.NUMA.RemoteLatency); e > 0.05 {
+		t.Errorf("remote %.3gns vs true %.3gns (err %.1f%%)", s.Remote*1e9, m.NUMA.RemoteLatency*1e9, e*100)
+	}
+	trueRatio := m.NUMA.RemoteLatency / m.MemLatency
+	if math.Abs(s.Ratio-trueRatio) > 0.1 {
+		t.Errorf("ratio %.3f vs true %.3f", s.Ratio, trueRatio)
+	}
+	if s.R2 < 0.9 {
+		t.Errorf("R2 = %.3f, want >= 0.9", s.R2)
+	}
+}
+
+// On a UMA machine the two ladders coincide and the fitted ratio is 1.
+func TestFitNUMASplitUMA(t *testing.T) {
+	m := numaTestModel()
+	m.NUMA = mem.NUMA{}
+	maxBytes := 8 * m.Levels[len(m.Levels)-1].Capacity
+	local := m.WithPlacement(mem.FirstTouch).Ladder(4<<10, maxBytes, 4)
+	remote := m.WithPlacement(mem.Remote).Ladder(4<<10, maxBytes, 4)
+	s, err := FitNUMASplit(local, remote, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ratio != 1 {
+		t.Errorf("UMA ratio = %g, want exactly 1 (identical ladders)", s.Ratio)
+	}
+}
+
+func TestFitNUMASplitErrors(t *testing.T) {
+	good := numaTestModel().Ladder(4<<10, 32<<20, 4)
+	short := good[:2]
+	if _, err := FitNUMASplit(short, good, 3); err == nil {
+		t.Error("short local ladder accepted")
+	}
+	if _, err := FitNUMASplit(good, short, 3); err == nil {
+		t.Error("short remote ladder accepted")
+	}
+	bad := append([]mem.Sample(nil), good...)
+	bad[0].Seconds = -1
+	if _, err := FitNUMASplit(bad, good, 3); err == nil {
+		t.Error("non-positive sample accepted")
+	}
+}

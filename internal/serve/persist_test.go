@@ -358,3 +358,49 @@ func TestDiskWriteFailureStillServes(t *testing.T) {
 		t.Error("failed disk writes not counted")
 	}
 }
+
+// TestNewExperimentIDsFlowThroughCache asserts the registry is the
+// single source of truth end to end: an experiment family added to
+// internal/core (here M5/M6, the NUMA placement experiments) is
+// listed, served, disk-persisted, and replayed across a restart with
+// no serve- or cache-layer changes — and, because core.Fingerprint()
+// hashes the registry shape, a store written before the family existed
+// could never be replayed into it.
+func TestNewExperimentIDsFlowThroughCache(t *testing.T) {
+	dir := t.TempDir()
+	fp := core.Fingerprint()
+
+	srv1 := New(Config{Store: openStore(t, dir, fp)}) // real core.Run
+	ts1 := newHTTPTestServer(t, srv1)
+	for _, id := range []string{"M5", "M6"} {
+		resp, body := doGet(t, ts1.URL+"/experiments/"+id, "application/json", "")
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: %d %s", id, resp.StatusCode, body)
+		}
+		if !strings.Contains(body, "NUMA") {
+			t.Errorf("%s body does not look like a NUMA experiment: %.80q", id, body)
+		}
+	}
+	if st := srv1.Stats(); st.Runs != 2 || st.DiskLoads != 0 {
+		t.Fatalf("cold stats = %+v, want Runs=2 DiskLoads=0", st)
+	}
+	etag1 := func(id string) string {
+		resp, _ := doGet(t, ts1.URL+"/experiments/"+id, "application/json", "")
+		return resp.Header.Get("ETag")
+	}
+
+	srv2 := New(Config{Store: openStore(t, dir, fp)})
+	ts2 := newHTTPTestServer(t, srv2)
+	for _, id := range []string{"M5", "M6"} {
+		resp, _ := doGet(t, ts2.URL+"/experiments/"+id, "application/json", "")
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s after restart: %d", id, resp.StatusCode)
+		}
+		if got := resp.Header.Get("ETag"); got != etag1(id) {
+			t.Errorf("%s ETag changed across restart: %q vs %q", id, got, etag1(id))
+		}
+	}
+	if st := srv2.Stats(); st.Runs != 0 || st.DiskLoads != 2 {
+		t.Errorf("restart stats = %+v, want Runs=0 DiskLoads=2 (fingerprint-valid replay)", st)
+	}
+}
