@@ -21,16 +21,25 @@ import (
 	"repro/internal/stream"
 )
 
-// benchExperiment runs one registered experiment per iteration.
+// benchExperiment runs one registered experiment per iteration on its
+// default platform set.
 func benchExperiment(b *testing.B, id string) {
+	benchExperimentOn(b, id, "")
+}
+
+// benchExperimentOn runs one experiment per iteration on a named
+// platform preset ("" = the default set) — the platform request axis
+// the registry refactor added.
+func benchExperimentOn(b *testing.B, id, platform string) {
 	b.Helper()
 	e, ok := core.Get(id)
 	if !ok {
 		b.Fatalf("experiment %s not registered", id)
 	}
+	req := core.Request{Scale: core.Quick, Platform: platform}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(io.Discard, core.Quick); err != nil {
+		if err := e.Run(io.Discard, req); err != nil {
 			b.Fatalf("experiment %s: %v", id, err)
 		}
 	}
@@ -64,6 +73,13 @@ func BenchmarkM3PageSizeTable(b *testing.B)  { benchExperiment(b, "M3") }
 func BenchmarkM4HierarchyFit(b *testing.B)   { benchExperiment(b, "M4") }
 func BenchmarkM5NUMAPlacement(b *testing.B)  { benchExperiment(b, "M5") }
 func BenchmarkM6PlacementCurve(b *testing.B) { benchExperiment(b, "M6") }
+
+// Platform-qualified targets: the same experiments restricted to one
+// preset via the request axis, so the per-platform cost is tracked in
+// the bench trajectory alongside the default-set cost.
+func BenchmarkT1OnGigE8n(b *testing.B) { benchExperimentOn(b, "T1", "gige-8n") }
+func BenchmarkM3OnBGP64n(b *testing.B) { benchExperimentOn(b, "M3", "bgp-64n") }
+func BenchmarkM5OnFat1n(b *testing.B)  { benchExperimentOn(b, "M5", "fat-1n") }
 
 // --- substrate micro-benchmarks ---
 

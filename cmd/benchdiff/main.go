@@ -1,0 +1,152 @@
+// Command benchdiff compares two BENCH_*.json records (the format
+// cmd/bench2json emits) and flags per-benchmark time regressions —
+// the historical-tracking half of the bench trajectory: CI produces
+// BENCH_pr.json, the repo carries BENCH_baseline.json, and this tool
+// says whether the PR got slower.
+//
+//	benchdiff -baseline BENCH_baseline.json -pr BENCH_pr.json
+//	benchdiff -threshold 0.50 -baseline old.json -pr new.json
+//
+// For every benchmark present in both records it prints the baseline
+// and PR ns/op and the ratio; a ratio above 1+threshold (default
+// 0.25, i.e. >25% slower) is flagged as a regression. Benchmarks only
+// in one record are listed as added/removed, never flagged. Exit
+// status: 0 when no regressions, 2 when at least one, 1 on bad input
+// — so a CI step can surface regressions distinctly from tool errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Benchmark mirrors cmd/bench2json's per-line record; only the fields
+// the comparison needs are decoded.
+type Benchmark struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Record mirrors cmd/bench2json's envelope.
+type Record struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Delta is one compared benchmark.
+type Delta struct {
+	Name       string
+	BaseNs     float64
+	PRNs       float64
+	Ratio      float64 // PR / baseline
+	Regression bool
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "baseline benchmark record")
+	pr := flag.String("pr", "BENCH_pr.json", "candidate benchmark record to compare against the baseline")
+	threshold := flag.Float64("threshold", 0.25, "flag ratios above 1+threshold as regressions (0.25 = 25% slower)")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	cand, err := load(*pr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	deltas, added, removed := compare(base, cand, *threshold)
+	if len(deltas) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no overlapping benchmarks between the two records")
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-32s %14s %14s %8s\n", "benchmark", "baseline ns/op", "pr ns/op", "ratio")
+	regressions := 0
+	for _, d := range deltas {
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-32s %14.0f %14.0f %8.3f%s\n", d.Name, d.BaseNs, d.PRNs, d.Ratio, mark)
+	}
+	for _, name := range added {
+		fmt.Printf("%-32s %14s %14s %8s  (new, no baseline)\n", name, "-", "-", "-")
+	}
+	for _, name := range removed {
+		fmt.Printf("%-32s %14s %14s %8s  (removed from pr)\n", name, "-", "-", "-")
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%% vs %s\n",
+			regressions, *threshold*100, *baseline)
+		os.Exit(2)
+	}
+	fmt.Printf("\nno regressions above %.0f%% (%d benchmarks compared)\n", *threshold*100, len(deltas))
+}
+
+func load(path string) (*Record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Record
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// compare pairs the two records by benchmark name and computes the
+// PR/baseline time ratios, flagging those above 1+threshold. A
+// baseline of 0 ns/op (a degenerate or truncated record) is skipped
+// rather than dividing by zero. Names unique to one side are returned
+// as added (pr-only) and removed (baseline-only), sorted.
+func compare(base, pr *Record, threshold float64) (deltas []Delta, added, removed []string) {
+	// First occurrence wins on both sides, so a concatenated record
+	// dedups the same way whichever file it appears in.
+	baseBy := map[string]float64{}
+	for _, b := range base.Benchmarks {
+		if _, ok := baseBy[b.Name]; !ok {
+			baseBy[b.Name] = b.NsPerOp
+		}
+	}
+	seen := map[string]bool{}
+	for _, c := range pr.Benchmarks {
+		if seen[c.Name] {
+			continue
+		}
+		seen[c.Name] = true
+		bn, ok := baseBy[c.Name]
+		if !ok {
+			added = append(added, c.Name)
+			continue
+		}
+		if bn <= 0 {
+			continue
+		}
+		ratio := c.NsPerOp / bn
+		deltas = append(deltas, Delta{
+			Name:       c.Name,
+			BaseNs:     bn,
+			PRNs:       c.NsPerOp,
+			Ratio:      ratio,
+			Regression: ratio > 1+threshold,
+		})
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			removed = append(removed, b.Name)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	sort.Strings(added)
+	sort.Strings(removed)
+	return deltas, added, removed
+}

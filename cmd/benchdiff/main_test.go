@@ -1,0 +1,83 @@
+package main
+
+import "testing"
+
+func rec(pairs ...any) *Record {
+	r := &Record{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		r.Benchmarks = append(r.Benchmarks, Benchmark{
+			Name: pairs[i].(string), NsPerOp: pairs[i+1].(float64),
+		})
+	}
+	return r
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := rec("A", 100.0, "B", 100.0, "C", 100.0, "Gone", 50.0)
+	pr := rec("A", 120.0, "B", 126.0, "C", 80.0, "New", 10.0)
+	deltas, added, removed := compare(base, pr, 0.25)
+
+	if len(deltas) != 3 {
+		t.Fatalf("compared %d benchmarks, want 3", len(deltas))
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	// 20% slower: under the 25% threshold.
+	if byName["A"].Regression {
+		t.Error("A (+20%) flagged as a regression at threshold 25%")
+	}
+	// 26% slower: over.
+	if !byName["B"].Regression {
+		t.Error("B (+26%) not flagged at threshold 25%")
+	}
+	// Faster is never a regression.
+	if byName["C"].Regression {
+		t.Error("C (-20%) flagged as a regression")
+	}
+	if byName["B"].Ratio < 1.25 || byName["B"].Ratio > 1.27 {
+		t.Errorf("B ratio = %v, want ~1.26", byName["B"].Ratio)
+	}
+	if len(added) != 1 || added[0] != "New" {
+		t.Errorf("added = %v, want [New]", added)
+	}
+	if len(removed) != 1 || removed[0] != "Gone" {
+		t.Errorf("removed = %v, want [Gone]", removed)
+	}
+}
+
+func TestCompareSkipsZeroBaseline(t *testing.T) {
+	deltas, _, _ := compare(rec("Z", 0.0), rec("Z", 100.0), 0.25)
+	if len(deltas) != 0 {
+		t.Errorf("zero-baseline benchmark compared: %+v", deltas)
+	}
+}
+
+func TestCompareExactThresholdNotFlagged(t *testing.T) {
+	// Exactly 1+threshold is "no worse than", not a regression.
+	deltas, _, _ := compare(rec("E", 100.0), rec("E", 125.0), 0.25)
+	if len(deltas) != 1 || deltas[0].Regression {
+		t.Errorf("ratio exactly at threshold flagged: %+v", deltas)
+	}
+}
+
+func TestCompareDedupsPRNames(t *testing.T) {
+	// A duplicated name in the PR record (merged files, say) is
+	// compared once, not twice.
+	deltas, _, _ := compare(rec("D", 100.0), rec("D", 110.0, "D", 500.0), 0.25)
+	if len(deltas) != 1 {
+		t.Fatalf("duplicate PR benchmark compared %d times", len(deltas))
+	}
+	if deltas[0].PRNs != 110.0 {
+		t.Errorf("first occurrence should win, got %v", deltas[0].PRNs)
+	}
+}
+
+func TestCompareDedupsBaselineNames(t *testing.T) {
+	// Both sides apply the same first-occurrence rule.
+	deltas, _, _ := compare(rec("D", 100.0, "D", 500.0), rec("D", 120.0), 0.25)
+	if len(deltas) != 1 || deltas[0].BaseNs != 100.0 {
+		t.Errorf("baseline dedup wrong: %+v", deltas)
+	}
+}

@@ -1,13 +1,23 @@
 // Command charhpc runs the platform characterization: every table and
 // figure of the reconstructed evaluation (see DESIGN.md), or a selected
-// subset.
+// subset, on the default platform set or one named preset.
 //
 // Usage:
 //
 //	charhpc -list
-//	charhpc -scale quick            # all experiments, reduced sweeps
-//	charhpc -scale full -exp F1,T3  # selected experiments, paper scale
-//	charhpc -j 4 -out results/      # 4-way parallel, one file per ID
+//	charhpc -platforms                  # list platform presets
+//	charhpc -scale quick                # all experiments, reduced sweeps
+//	charhpc -scale full -exp F1,T3      # selected experiments, paper scale
+//	charhpc -platform gige-8n T1        # T1 on the GigE preset
+//	charhpc -platform bgp-64n           # everything bgp-64n can answer
+//	charhpc -j 4 -out results/          # 4-way parallel, one file per ID
+//
+// Experiment IDs can be given as positional arguments or via -exp;
+// "all" (the default) selects the whole registry. With -platform the
+// experiments run on that preset instead of their canonical platform
+// set; an unknown or incompatible preset for an explicitly selected
+// experiment is an error, while an "all" selection narrows to the
+// experiments the preset can answer.
 //
 // Experiments run on a core.RunParallel worker pool (-j, default 1);
 // each writes to its own buffer, so per-experiment output — including
@@ -20,8 +30,10 @@
 // cache: an experiment already in the store is replayed instead of
 // re-executed (its header says "cached" and shows the original run's
 // wall time), and fresh runs are written through for later CLI or
-// charhpcd use. The store self-invalidates when the binary or the
-// registry changes.
+// charhpcd use. Cache keys carry the platform, so default and
+// preset-qualified results never collide. The store self-invalidates
+// when the binary, the experiment registry, or the preset registry
+// changes.
 package main
 
 import (
@@ -32,6 +44,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/diskcache"
 	"repro/internal/serve"
@@ -40,7 +53,9 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "quick", "sweep scale: quick or full")
 	expFlag := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-	listFlag := flag.Bool("list", false, "list experiments and exit")
+	platformFlag := flag.String("platform", "", "run on this platform preset instead of each experiment's default set (see -platforms)")
+	listFlag := flag.Bool("list", false, "list experiments (with their valid platforms) and exit")
+	platformsFlag := flag.Bool("platforms", false, "list platform presets and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 	jFlag := flag.Int("j", 1, "worker pool size: run up to j experiments concurrently")
 	cacheDir := flag.String("cache-dir", "", "share the disk-persistent results cache (see charhpcd)")
@@ -48,20 +63,37 @@ func main() {
 
 	if *listFlag {
 		for _, e := range core.All() {
-			fmt.Printf("%-4s %-7s %s\n", e.ID, e.Kind, e.Title)
+			platforms := strings.Join(e.Platforms(), ",")
+			if platforms == "" {
+				platforms = "-"
+			}
+			fmt.Printf("%-4s %-7s %-55s [%s]\n", e.ID, e.Kind, e.Title, platforms)
+		}
+		return
+	}
+	if *platformsFlag {
+		for _, name := range cluster.Names() {
+			m, _ := cluster.Lookup(name)
+			fmt.Printf("%-8s %-28s caps=%s\n", name, m.Topo.String(), m.Caps())
 		}
 		return
 	}
 
-	var scale core.Scale
+	req := core.Request{Platform: *platformFlag}
 	switch *scaleFlag {
 	case "quick":
-		scale = core.Quick
+		req.Scale = core.Quick
 	case "full":
-		scale = core.Full
+		req.Scale = core.Full
 	default:
 		fmt.Fprintf(os.Stderr, "charhpc: unknown scale %q (want quick or full)\n", *scaleFlag)
 		os.Exit(2)
+	}
+	if req.Platform != "" {
+		if _, ok := cluster.Lookup(req.Platform); !ok {
+			fmt.Fprintf(os.Stderr, "charhpc: unknown platform %q (use -platforms)\n", req.Platform)
+			os.Exit(2)
+		}
 	}
 
 	if *outDir != "" {
@@ -71,17 +103,32 @@ func main() {
 		}
 	}
 
+	// Experiment selection: positional IDs win over -exp; "all" means
+	// the whole registry, narrowed to compatible experiments when a
+	// platform was named.
+	sel := *expFlag
+	if args := flag.Args(); len(args) > 0 {
+		sel = strings.Join(args, ",")
+	}
 	var ids []string
-	if *expFlag == "all" {
+	if sel == "all" {
 		for _, e := range core.All() {
+			if req.Platform != "" && e.CheckPlatform(req.Platform) != nil {
+				continue
+			}
 			ids = append(ids, e.ID)
 		}
 	} else {
 		seen := map[string]bool{}
-		for _, id := range strings.Split(*expFlag, ",") {
+		for _, id := range strings.Split(sel, ",") {
 			id = strings.TrimSpace(id)
-			if _, ok := core.Get(id); !ok {
+			e, ok := core.Get(id)
+			if !ok {
 				fmt.Fprintf(os.Stderr, "charhpc: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			if err := e.CheckPlatform(req.Platform); err != nil {
+				fmt.Fprintf(os.Stderr, "charhpc: %v\n", err)
 				os.Exit(2)
 			}
 			if !seen[id] {
@@ -124,7 +171,7 @@ func main() {
 		toRun = nil
 		for i, id := range ids {
 			e, _ := core.Get(id)
-			if r, ok := serve.LoadResult(store, e, scale); ok {
+			if r, ok := serve.LoadResult(store, e, req); ok {
 				cached[i] = true
 				slots[i] <- r
 				continue
@@ -136,8 +183,9 @@ func main() {
 		if len(toRun) == 0 {
 			return
 		}
-		// IDs were validated above, so the pool cannot fail early.
-		if err := core.RunParallelFunc(toRun, scale, *jFlag, func(r core.Result) {
+		// IDs and platform were validated above, so the pool cannot
+		// fail early.
+		if err := core.RunParallelFunc(toRun, req, *jFlag, func(r core.Result) {
 			if store != nil && r.Err == nil {
 				if err := serve.StoreResult(store, r); err != nil {
 					fmt.Fprintf(os.Stderr, "charhpc: cache write %s: %v\n", r.Experiment.ID, err)
@@ -158,6 +206,9 @@ func main() {
 		if cached[i] {
 			mark = ", cached"
 		}
+		if req.Platform != "" {
+			mark += ", platform=" + req.Platform
+		}
 		fmt.Printf("\n### %s (%s): %s  [%s%s]\n", e.ID, e.Kind, e.Title,
 			r.Elapsed.Round(time.Millisecond), mark)
 		os.Stdout.Write(r.Rec.Bytes())
@@ -167,7 +218,11 @@ func main() {
 			bad = true
 		}
 		if *outDir != "" {
-			path := filepath.Join(*outDir, e.ID+".txt")
+			name := e.ID
+			if req.Platform != "" {
+				name += "@" + req.Platform
+			}
+			path := filepath.Join(*outDir, name+".txt")
 			if err := os.WriteFile(path, r.Rec.Bytes(), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "charhpc: %v\n", err)
 				bad = true

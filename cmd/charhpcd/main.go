@@ -7,11 +7,19 @@
 // registry changes (see internal/diskcache). charhpc -cache-dir
 // shares the same store.
 //
+// The platform is a request axis: GET /experiments/{id}?platform=NAME
+// runs an experiment on one named preset (the listing advertises which
+// presets each experiment accepts). Warm-up fills the default-platform
+// quick cache; -warm-platforms extends it across named presets — the
+// warm-up set is experiments × platforms, with incompatible pairs
+// skipped.
+//
 // Usage:
 //
 //	charhpcd                               # :8080, warm quick cache
 //	charhpcd -addr :9090 -j 8              # custom port, 8 warm workers
 //	charhpcd -warm=false -scale-limit full # cold start, allow full runs
+//	charhpcd -warm-platforms default,gige-8n,bgp-64n
 //	charhpcd -cache-dir /var/cache/charhpc -cache-max-bytes 67108864
 package main
 
@@ -25,9 +33,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/diskcache"
 	"repro/internal/serve"
@@ -37,6 +47,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "warm-up worker pool size")
 	warm := flag.Bool("warm", true, "fill the quick-scale cache in the background at startup")
+	warmPlatforms := flag.String("warm-platforms", "default",
+		"comma-separated platform axis for the warm-up: 'default' is each experiment's canonical set, any other name is a preset")
 	scaleLimit := flag.String("scale-limit", "quick", "largest scale served: quick or full")
 	cacheDir := flag.String("cache-dir", "", "persist the results cache under this directory (empty = memory only)")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this many bytes (0 = unbounded)")
@@ -51,6 +63,25 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "charhpcd: unknown scale limit %q (want quick or full)\n", *scaleLimit)
 		os.Exit(2)
+	}
+
+	// Resolve the warm-up platform axis up front so a typo fails the
+	// start, not a background goroutine.
+	var platforms []string
+	for _, p := range strings.Split(*warmPlatforms, ",") {
+		p = strings.TrimSpace(p)
+		switch p {
+		case "":
+			continue
+		case "default":
+			platforms = append(platforms, "")
+		default:
+			if _, ok := cluster.Lookup(p); !ok {
+				fmt.Fprintf(os.Stderr, "charhpcd: unknown warm-up platform %q (presets: %v)\n", p, cluster.Names())
+				os.Exit(2)
+			}
+			platforms = append(platforms, p)
+		}
 	}
 
 	var store *diskcache.Store
@@ -78,7 +109,7 @@ func main() {
 		go func() {
 			defer close(warmDone)
 			t0 := time.Now()
-			n := srv.Warm(ctx, nil, *workers)
+			n := srv.Warm(ctx, nil, platforms, *workers)
 			st := srv.Stats()
 			if ctx.Err() != nil {
 				log.Printf("charhpcd: warm-up canceled after %d run(s)", n)

@@ -1,15 +1,20 @@
-// platform-compare pits the two modeled fabrics (gigabit Ethernet vs
-// InfiniBand) against each other on latency- and bandwidth-sensitive
-// workloads, one rank per node — a miniature of the T4 comparison
-// table and the core question a platform characterization answers:
-// which machine should this workload run on?
+// platform-compare pits modeled fabrics against each other on
+// latency- and bandwidth-sensitive workloads, one rank per node — a
+// miniature of the T4 comparison table and the core question a
+// platform characterization answers: which machine should this
+// workload run on?
 //
-//	go run ./examples/platform-compare
+// The platforms come from internal/cluster's preset registry, so any
+// multi-node preset can enter the comparison by name:
+//
+//	go run ./examples/platform-compare                 # gige-8n vs ib-8n
+//	go run ./examples/platform-compare gige-8n bgp-64n # any presets
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/cluster"
 	"repro/internal/hpcc"
@@ -18,13 +23,33 @@ import (
 )
 
 func main() {
+	names := []string{"gige-8n", "ib-8n"}
+	if len(os.Args) > 1 {
+		names = os.Args[1:]
+	}
+	models := make([]*cluster.Model, len(names))
+	for i, name := range names {
+		m, ok := cluster.Lookup(name)
+		if !ok {
+			log.Fatalf("unknown platform %q (presets: %v)", name, cluster.Names())
+		}
+		if !m.Has(cluster.CapMultiNode) {
+			log.Fatalf("platform %q has no inter-node fabric to compare (multi-node presets: %v)",
+				name, cluster.NamesWith(cluster.CapMultiNode))
+		}
+		m.Placement = cluster.Cyclic
+		models[i] = m
+	}
+
 	const p = 8
-	fmt.Printf("%-28s %14s %14s\n", "workload", "gige-8n", "ib-8n")
+	fmt.Printf("%-28s", "workload")
+	for _, name := range names {
+		fmt.Printf(" %14s", name)
+	}
+	fmt.Println()
 	for _, metric := range []string{"8B latency (us)", "1MiB bandwidth (MB/s)", "RandomAccess (GUPS)"} {
 		fmt.Printf("%-28s", metric)
-		for _, mk := range []func() *cluster.Model{cluster.GigECluster, cluster.IBCluster} {
-			m := mk()
-			m.Placement = cluster.Cyclic
+		for _, m := range models {
 			v, err := measure(m, p, metric)
 			if err != nil {
 				log.Fatal(err)

@@ -34,7 +34,7 @@ func main() {
 
 	// Warm the cache for the experiment we are about to fetch, the
 	// way charhpcd warms the whole registry at startup.
-	n := srv.Warm(context.Background(), []string{"T1"}, 2)
+	n := srv.Warm(context.Background(), []string{"T1"}, nil, 2)
 	fmt.Printf("warm-up ran %d experiment(s)\n\n", n)
 
 	// 1. Liveness.
@@ -81,7 +81,21 @@ func main() {
 	fmt.Printf("  section %q: %d columns x %d rows\n",
 		doc.Sections[0].Title, len(doc.Sections[0].Columns), len(doc.Sections[0].Rows))
 
-	// 4. Conditional revalidation: send the ETag back and get a 304
+	// 4. The platform axis: the same experiment on one named preset is
+	// its own cached result with its own ETag; bad names are rejected
+	// before anything runs.
+	fmt.Println("\nGET /experiments/T1?platform=gige-8n (one preset only):")
+	body, _ = get(ts.URL+"/experiments/T1?platform=gige-8n", "text/plain")
+	fmt.Print(indent(firstLines(body, 5)))
+	resp404, err := http.Get(ts.URL + "/experiments/T1?platform=cray-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp404.Body)
+	resp404.Body.Close()
+	fmt.Printf("GET /experiments/T1?platform=cray-1 -> %s (unknown preset)\n", resp404.Status)
+
+	// 5. Conditional revalidation: send the ETag back and get a 304
 	// with no body — what a client-side cache does on refresh.
 	req, _ := http.NewRequest("GET", ts.URL+"/experiments/T1?scale=quick", nil)
 	req.Header.Set("Accept", "application/json")
@@ -103,7 +117,7 @@ func main() {
 	resp.Body.Close()
 	fmt.Printf("revalidating GET with If-None-Match: %s\n", resp.Status)
 
-	// 5. Disk persistence: the same service over a diskcache.Store
+	// 6. Disk persistence: the same service over a diskcache.Store
 	// survives a restart — the second "process" warms entirely from
 	// disk, runs nothing, and serves the same ETag.
 	dir, err := os.MkdirTemp("", "charhpc-cache-*")
@@ -118,7 +132,7 @@ func main() {
 		log.Fatal(err)
 	}
 	first := serve.New(serve.Config{Store: store})
-	first.Warm(context.Background(), []string{"T1"}, 2)
+	first.Warm(context.Background(), []string{"T1"}, nil, 2)
 	ts1 := httptest.NewServer(first)
 	_, hdr := get(ts1.URL+"/experiments/T1?scale=quick", "application/json")
 	etag1 := hdr.Get("ETag")
@@ -132,7 +146,7 @@ func main() {
 		log.Fatal(err)
 	}
 	second := serve.New(serve.Config{Store: store2})
-	second.Warm(context.Background(), []string{"T1"}, 2)
+	second.Warm(context.Background(), []string{"T1"}, nil, 2)
 	ts2 := httptest.NewServer(second)
 	defer ts2.Close()
 	_, hdr = get(ts2.URL+"/experiments/T1?scale=quick", "application/json")

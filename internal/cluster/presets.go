@@ -235,12 +235,3 @@ func FatNUMANode() *Model {
 		Mem:            opteronMem(),
 	}
 }
-
-// Presets returns all built-in platform models keyed by name.
-func Presets() map[string]*Model {
-	out := map[string]*Model{}
-	for _, m := range []*Model{GigECluster(), IBCluster(), SMPNode(), BigIBCluster(), BGPRack(), FatNUMANode()} {
-		out[m.Name] = m
-	}
-	return out
-}

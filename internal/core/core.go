@@ -8,6 +8,14 @@
 // comparison, fitted-vs-truth, NUMA placement ladder, placement
 // slowdown; see internal/mem). cmd/charhpc runs the whole registry;
 // bench_test.go exposes one bench target per experiment.
+//
+// The platform is a request axis: every experiment runs against a
+// Request{Scale, Platform}, where Platform names a preset from
+// internal/cluster's registry and "" means the experiment's canonical
+// platform set (byte-identical to the pre-registry hardwired output).
+// Experiments declare the capabilities a preset must have (Needs), so
+// callers can enumerate the valid presets per experiment and reject
+// incompatible requests before anything runs.
 package core
 
 import (
@@ -15,6 +23,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+
+	"repro/internal/cluster"
 )
 
 // Scale selects the sweep sizes: Quick keeps everything small enough
@@ -37,6 +48,24 @@ func (s Scale) String() string {
 	return "quick"
 }
 
+// Request parameterizes one experiment execution: the sweep scale and
+// the platform axis. Platform is a preset name from internal/cluster's
+// registry; the zero value ("") selects the experiment's canonical
+// platform set and reproduces the historical output byte-for-byte.
+type Request struct {
+	Scale    Scale
+	Platform string
+}
+
+// String renders the request for cache keys and error messages:
+// "quick" for the default platform set, "quick@ib-8n" otherwise.
+func (r Request) String() string {
+	if r.Platform == "" {
+		return r.Scale.String()
+	}
+	return r.Scale.String() + "@" + r.Platform
+}
+
 // Experiment is one reproducible table or figure.
 type Experiment struct {
 	// ID is the experiment identifier from DESIGN.md ("T1", "F5", ...).
@@ -45,8 +74,47 @@ type Experiment struct {
 	Title string
 	// Kind is "table" or "figure".
 	Kind string
-	// Run produces the experiment's output.
-	Run func(w io.Writer, s Scale) error
+	// Run produces the experiment's output for one request.
+	Run func(w io.Writer, r Request) error
+	// Needs is the capability mask a preset must satisfy for this
+	// experiment to be meaningful on it (fabric experiments need
+	// multi-node models, the M family needs a memory model, M5/M6
+	// need NUMA). Zero (cluster.CapAny) accepts every preset.
+	Needs cluster.Capability
+	// NoPlatform marks experiments with no platform axis at all
+	// (host-only measurements such as T2): only the default request
+	// is valid for them.
+	NoPlatform bool
+}
+
+// Platforms returns the preset names this experiment accepts for an
+// explicit Request.Platform, in registry order — what the service
+// advertises in its listing. Nil for NoPlatform experiments.
+func (e Experiment) Platforms() []string {
+	if e.NoPlatform {
+		return nil
+	}
+	return cluster.NamesWith(e.Needs)
+}
+
+// CheckPlatform validates an explicit platform name against the
+// experiment's declared needs. The default "" is always valid.
+func (e Experiment) CheckPlatform(name string) error {
+	if name == "" {
+		return nil
+	}
+	if e.NoPlatform {
+		return fmt.Errorf("core: experiment %s has no platform axis (it measures the host)", e.ID)
+	}
+	m, ok := cluster.Lookup(name)
+	if !ok {
+		return fmt.Errorf("core: unknown platform %q (presets: %v)", name, cluster.Names())
+	}
+	if !m.Has(e.Needs) {
+		return fmt.Errorf("core: platform %q is incompatible with experiment %s (needs %s; valid: %v)",
+			name, e.ID, e.Needs, e.Platforms())
+	}
+	return nil
 }
 
 var registry = map[string]Experiment{}
@@ -84,7 +152,9 @@ func All() []Experiment {
 }
 
 // idLess orders experiment IDs by (letter prefix, numeric suffix), so
-// mixed families collate deterministically: F2 < F10 < M1 < T4.
+// mixed families collate deterministically: F2 < F10 < M1 < T4. IDs
+// without a clean numeric suffix sort before numbered siblings of the
+// same prefix, then fall back to the full-string comparison.
 func idLess(a, b string) bool {
 	pa, na := splitID(a)
 	pb, nb := splitID(b)
@@ -98,27 +168,58 @@ func idLess(a, b string) bool {
 }
 
 // splitID splits an ID like "F13" into its letter prefix and number.
+// A malformed suffix — empty ("F") or non-numeric tail ("F13x") —
+// reports -1, below every well-formed number, instead of silently
+// parsing as 0 and colliding with a real "F0".
 func splitID(id string) (string, int) {
 	i := 0
 	for i < len(id) && (id[i] < '0' || id[i] > '9') {
 		i++
 	}
-	var n int
-	fmt.Sscanf(id[i:], "%d", &n)
+	n, err := strconv.Atoi(id[i:])
+	if err != nil {
+		return id[:i], -1
+	}
 	return id[:i], n
 }
 
 // RunAll executes every experiment serially against w, collecting
 // per-experiment errors instead of stopping at the first (matching
 // the worker-pool runner's keep-going semantics; see runner.go for
-// the concurrent path).
-func RunAll(w io.Writer, s Scale) error {
+// the concurrent path). With an explicit platform the run covers the
+// compatible experiments only — an all-registry sweep on one preset
+// is "everything this platform can answer", not an error per
+// incompatible ID.
+func RunAll(w io.Writer, r Request) error {
 	var errs []error
 	for _, e := range All() {
+		if r.Platform != "" && e.CheckPlatform(r.Platform) != nil {
+			continue
+		}
 		fmt.Fprintf(w, "\n### %s (%s): %s\n", e.ID, e.Kind, e.Title)
-		if err := e.Run(w, s); err != nil {
+		if err := e.Run(w, r); err != nil {
 			errs = append(errs, fmt.Errorf("core: experiment %s: %w", e.ID, err))
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// platformsFor resolves a request's platform axis for an experiment:
+// "" instantiates the canonical constructors; an explicit name becomes
+// a one-element list looked up in the preset registry. Every model is
+// freshly constructed, so experiments may mutate placement or topology
+// without aliasing other runs.
+func platformsFor(r Request, canonical ...func() *cluster.Model) ([]*cluster.Model, error) {
+	if r.Platform == "" {
+		ms := make([]*cluster.Model, len(canonical))
+		for i, mk := range canonical {
+			ms[i] = mk()
+		}
+		return ms, nil
+	}
+	m, ok := cluster.Lookup(r.Platform)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown platform %q (presets: %v)", r.Platform, cluster.Names())
+	}
+	return []*cluster.Model{m}, nil
 }

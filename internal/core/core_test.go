@@ -96,7 +96,7 @@ func runExp(t *testing.T, id string) string {
 		t.Fatalf("experiment %s not registered", id)
 	}
 	var b bytes.Buffer
-	if err := e.Run(&b, Quick); err != nil {
+	if err := e.Run(&b, Request{Scale: Quick}); err != nil {
 		t.Fatalf("experiment %s failed: %v", id, err)
 	}
 	out := b.String()
@@ -220,13 +220,103 @@ func TestRegistrySmoke(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			var b bytes.Buffer
-			if err := e.Run(&b, Quick); err != nil {
+			if err := e.Run(&b, Request{Scale: Quick}); err != nil {
 				t.Fatalf("experiment %s failed: %v", e.ID, err)
 			}
 			if b.Len() == 0 {
 				t.Fatalf("experiment %s produced no output", e.ID)
 			}
 		})
+	}
+}
+
+// TestSplitIDOrdering is the table test for the ID collation,
+// including malformed IDs: a digit-less or junk-suffixed ID must sort
+// deterministically (before numbered siblings of its prefix) instead
+// of silently parsing as 0 and colliding with a real "F0".
+func TestSplitIDOrdering(t *testing.T) {
+	cases := []struct {
+		id         string
+		wantPrefix string
+		wantNum    int
+	}{
+		{"F13", "F", 13},
+		{"T1", "T", 1},
+		{"M6", "M", 6},
+		{"F", "F", -1},    // no digits at all
+		{"F13x", "F", -1}, // trailing junk: not a clean number
+		{"FX", "FX", -1},  // all letters
+		{"7", "", 7},      // no prefix
+		{"F0", "F", 0},    // zero is a real number, not a parse failure
+		{"", "", -1},      // empty
+	}
+	for _, c := range cases {
+		p, n := splitID(c.id)
+		if p != c.wantPrefix || n != c.wantNum {
+			t.Errorf("splitID(%q) = (%q, %d), want (%q, %d)", c.id, p, n, c.wantPrefix, c.wantNum)
+		}
+	}
+
+	// Ordering across mixed well-formed and malformed IDs: malformed
+	// sorts before numbered IDs of the same prefix (so "F" < "F0"),
+	// ties fall back to the string compare, and the classic numeric
+	// collation still holds.
+	ordered := []string{"F", "F13x", "F0", "F2", "F10", "F13", "FX", "M1", "T1", "T10"}
+	for i := 0; i+1 < len(ordered); i++ {
+		if !idLess(ordered[i], ordered[i+1]) {
+			t.Errorf("idLess(%q, %q) = false, want true", ordered[i], ordered[i+1])
+		}
+		if idLess(ordered[i+1], ordered[i]) {
+			t.Errorf("idLess(%q, %q) = true, want false", ordered[i+1], ordered[i])
+		}
+	}
+}
+
+// TestCheckPlatform covers the request-validation contract: default
+// always passes, unknown names and incompatible presets fail with
+// messages naming the valid set, and NoPlatform experiments reject
+// every explicit platform.
+func TestCheckPlatform(t *testing.T) {
+	t1, _ := Get("T1") // any preset
+	f1, _ := Get("F1") // needs multi-node
+	m5, _ := Get("M5") // needs NUMA
+	t2, _ := Get("T2") // host-only
+
+	for _, e := range []Experiment{t1, f1, m5, t2} {
+		if err := e.CheckPlatform(""); err != nil {
+			t.Errorf("%s: default platform rejected: %v", e.ID, err)
+		}
+	}
+	if err := t1.CheckPlatform("no-such"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if err := t1.CheckPlatform("bgp-64n"); err != nil {
+		t.Errorf("T1 on bgp-64n rejected: %v", err)
+	}
+	if err := f1.CheckPlatform("smp-1n"); err == nil {
+		t.Error("F1 accepted a single-node platform")
+	}
+	if err := f1.CheckPlatform("gige-8n"); err != nil {
+		t.Errorf("F1 on gige-8n rejected: %v", err)
+	}
+	if err := m5.CheckPlatform("ib-8n"); err == nil {
+		t.Error("M5 accepted a non-NUMA platform")
+	}
+	if err := m5.CheckPlatform("fat-1n"); err != nil {
+		t.Errorf("M5 on fat-1n rejected: %v", err)
+	}
+	if err := t2.CheckPlatform("ib-8n"); err == nil {
+		t.Error("host-only T2 accepted an explicit platform")
+	}
+
+	if got := t2.Platforms(); got != nil {
+		t.Errorf("T2.Platforms() = %v, want nil", got)
+	}
+	if got := m5.Platforms(); len(got) != 2 {
+		t.Errorf("M5.Platforms() = %v, want the two NUMA presets", got)
+	}
+	if got := t1.Platforms(); len(got) != 6 {
+		t.Errorf("T1.Platforms() = %v, want every preset", got)
 	}
 }
 

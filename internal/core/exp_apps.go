@@ -15,9 +15,9 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "F14", Kind: "figure", Run: runF14,
+	register(Experiment{ID: "F14", Kind: "figure", Run: runF14, Needs: cluster.CapMultiNode,
 		Title: "Rank placement ablation: block vs cyclic latency distribution"})
-	register(Experiment{ID: "F15", Kind: "table", Run: runF15,
+	register(Experiment{ID: "F15", Kind: "table", Run: runF15, Needs: cluster.CapMultiNode,
 		Title: "Application kernels (EP, IS, stencil, CG) across fabrics"})
 }
 
@@ -26,20 +26,24 @@ func init() {
 // (until the node boundary), cyclic forces every pair off-node. The
 // same job, placed differently, sees a different latency distribution —
 // the placement lever every MPI launcher exposes.
-func runF14(w io.Writer, s Scale) error {
+func runF14(w io.Writer, r Request) error {
 	iters := 30
-	if s == Full {
+	if r.Scale == Full {
 		iters = 200
 	}
+	ms, err := platformsFor(r, cluster.IBCluster)
+	if err != nil {
+		return err
+	}
+	m := ms[0]
 	fig := report.NewFigure("8B latency between ranks (r, r+1), by placement",
 		"first rank of pair", "microseconds")
 	for _, placement := range []cluster.Placement{cluster.Block, cluster.Cyclic} {
-		m := cluster.IBCluster()
 		m.Placement = placement
 		n := m.Topo.TotalCores()
-		series := fig.AddSeries("ib-8n/" + placement.String())
+		series := fig.AddSeries(m.Name + "/" + placement.String())
 		step := 3
-		if s == Full {
+		if r.Scale == Full {
 			step = 1
 		}
 		for a := 0; a+1 < n; a += step {
@@ -55,36 +59,49 @@ func runF14(w io.Writer, s Scale) error {
 	return fig.Fprint(w)
 }
 
-// runF15 runs the three application-level workloads on both fabrics:
-// EP (compute-only: fabric-insensitive), IS (one alltoallv:
+// runF15 runs the application-level workloads on every requested
+// fabric: EP (compute-only: fabric-insensitive), IS (one alltoallv:
 // bisection-bound), CG (allgather+allreduce per iteration:
 // latency-bound). Their contrast is the application-level summary of
-// the platform characterization.
-func runF15(w io.Writer, s Scale) error {
+// the platform characterization. The trailing ratio column compares
+// the last platform against the first and is dropped for a
+// single-platform request.
+func runF15(w io.Writer, r Request) error {
+	ms, err := platformsFor(r, cluster.GigECluster, cluster.IBCluster)
+	if err != nil {
+		return err
+	}
 	p := 8
 	pairsPerRank := 20000
 	keysPerRank := 20000
 	cgN := 512
-	if s == Full {
+	if r.Scale == Full {
 		pairsPerRank = 200000
 		keysPerRank = 200000
 		cgN = 2048
 	}
 
 	stencilN := 64
-	if s == Full {
+	if r.Scale == Full {
 		stencilN = 256
 	}
 
-	t := report.NewTable(fmt.Sprintf("Application kernels (p=%d, one rank/node)", p),
-		"kernel", "metric", "gige-8n", "ib-8n", "ib/gige")
+	cols := []string{"kernel", "metric"}
+	for _, m := range ms {
+		cols = append(cols, m.Name)
+	}
+	compare := len(ms) > 1
+	if compare {
+		cols = append(cols, fmt.Sprintf("%s/%s",
+			shortName(ms[len(ms)-1].Name), shortName(ms[0].Name)))
+	}
+	t := report.NewTable(fmt.Sprintf("Application kernels (p=%d, one rank/node)", p), cols...)
 
 	type row struct{ ep, is, st, cg float64 }
-	results := map[string]row{}
-	for _, mk := range []func() *cluster.Model{cluster.GigECluster, cluster.IBCluster} {
-		m := mk()
+	results := make([]row, len(ms))
+	for i, m := range ms {
 		m.Placement = cluster.Cyclic
-		var r row
+		var rr row
 		cfg := mp.Config{Fabric: mp.Sim, Model: m}
 		err := mp.Run(p, cfg, func(c *mp.Comm) error {
 			ep, err := nas.EP(c, nas.EPConfig{
@@ -110,20 +127,34 @@ func runF15(w io.Writer, s Scale) error {
 				return err
 			}
 			if c.Rank() == 0 {
-				r = row{ep: ep.MopsPerS, is: is.MKeysPerS, st: st.CellsPerS, cg: cgTime}
+				rr = row{ep: ep.MopsPerS, is: is.MKeysPerS, st: st.CellsPerS, cg: cgTime}
 			}
 			return nil
 		})
 		if err != nil {
 			return fmt.Errorf("platform %s: %w", m.Name, err)
 		}
-		results[m.Name] = r
+		results[i] = rr
 	}
-	g, ib := results["gige-8n"], results["ib-8n"]
-	t.AddRow("EP", "Mpairs/s", g.ep, ib.ep, ratio(ib.ep, g.ep))
-	t.AddRow("IS", "Mkeys/s", g.is, ib.is, ratio(ib.is, g.is))
-	t.AddRow("Stencil", "Mcells/s", g.st/1e6, ib.st/1e6, ratio(ib.st, g.st))
-	t.AddRow("CG", "time (ms)", g.cg*1e3, ib.cg*1e3, ratio(g.cg, ib.cg))
+	add := func(kernel, metric string, pick func(row) float64, scale float64, lowerBetter bool) {
+		cells := []any{kernel, metric}
+		for _, rr := range results {
+			cells = append(cells, pick(rr)*scale)
+		}
+		if compare {
+			first, last := pick(results[0]), pick(results[len(results)-1])
+			if lowerBetter {
+				cells = append(cells, ratio(first, last))
+			} else {
+				cells = append(cells, ratio(last, first))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	add("EP", "Mpairs/s", func(r row) float64 { return r.ep }, 1, false)
+	add("IS", "Mkeys/s", func(r row) float64 { return r.is }, 1, false)
+	add("Stencil", "Mcells/s", func(r row) float64 { return r.st }, 1e-6, false)
+	add("CG", "time (ms)", func(r row) float64 { return r.cg }, 1e3, true)
 	return t.Fprint(w)
 }
 

@@ -11,9 +11,9 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "F5", Kind: "figure", Run: runF5,
+	register(Experiment{ID: "F5", Kind: "figure", Run: runF5, Needs: cluster.CapMultiNode,
 		Title: "Collective latency vs process count (bcast/allreduce/alltoall/barrier)"})
-	register(Experiment{ID: "F6", Kind: "figure", Run: runF6,
+	register(Experiment{ID: "F6", Kind: "figure", Run: runF6, Needs: cluster.CapMultiNode,
 		Title: "Collective algorithm comparison (ablation)"})
 }
 
@@ -25,13 +25,19 @@ func collProcs(s Scale) []int {
 	return []int{2, 4, 8, 16}
 }
 
-// oneRankPerNode returns a 64-node IB model with cyclic placement so a
-// p-rank job lands one rank per node (p <= 64): the configuration
-// collective-scaling studies use.
-func oneRankPerNode() *cluster.Model {
-	m := cluster.BigIBCluster()
+// collPlatform resolves the collective experiments' platform: the
+// canonical 64-node IB model, or the requested preset, with cyclic
+// placement either way so a p-rank job spreads one rank per node
+// (wrapping onto further cores once p exceeds the node count) — the
+// configuration collective-scaling studies use.
+func collPlatform(r Request) (*cluster.Model, error) {
+	ms, err := platformsFor(r, cluster.BigIBCluster)
+	if err != nil {
+		return nil, err
+	}
+	m := ms[0]
 	m.Placement = cluster.Cyclic
-	return m
+	return m, nil
 }
 
 // measureColl runs one collective latency measurement at p ranks.
@@ -51,13 +57,16 @@ func measureColl(m *cluster.Model, p, warm, iters int, mk func(c *mp.Comm) func(
 	return lat, err
 }
 
-func runF5(w io.Writer, s Scale) error {
-	m := oneRankPerNode()
+func runF5(w io.Writer, r Request) error {
+	m, err := collPlatform(r)
+	if err != nil {
+		return err
+	}
 	iters := 30
-	if s == Full {
+	if r.Scale == Full {
 		iters = 100
 	}
-	fig := report.NewFigure("Collective latency vs process count (one rank/node, IB)",
+	fig := report.NewFigure(fmt.Sprintf("Collective latency vs process count (one rank/node, %s)", m.Name),
 		"processes", "microseconds")
 
 	type coll struct {
@@ -96,7 +105,10 @@ func runF5(w io.Writer, s Scale) error {
 	}
 	for _, cl := range colls {
 		series := fig.AddSeries(cl.name)
-		for _, p := range collProcs(s) {
+		for _, p := range collProcs(r.Scale) {
+			if p > m.Topo.TotalCores() {
+				continue
+			}
 			lat, err := measureColl(m, p, 5, iters, cl.mk)
 			if err != nil {
 				return fmt.Errorf("%s @ p=%d: %w", cl.name, p, err)
@@ -107,18 +119,24 @@ func runF5(w io.Writer, s Scale) error {
 	return fig.Fprint(w)
 }
 
-func runF6(w io.Writer, s Scale) error {
-	m := oneRankPerNode()
+func runF6(w io.Writer, r Request) error {
+	m, err := collPlatform(r)
+	if err != nil {
+		return err
+	}
 	p := 16
 	iters := 30
 	sizes := []int{64, 4096, 65536, 1 << 20}
-	if s == Full {
+	if r.Scale == Full {
 		p = 32
 		iters = 100
 		sizes = []int{8, 64, 512, 4096, 32768, 262144, 1 << 20, 4 << 20}
 	}
+	if total := m.Topo.TotalCores(); p > total {
+		p = total
+	}
 
-	fig := report.NewFigure(fmt.Sprintf("Collective algorithms vs message size (p=%d, IB)", p),
+	fig := report.NewFigure(fmt.Sprintf("Collective algorithms vs message size (p=%d, %s)", p, m.Name),
 		"bytes", "microseconds")
 
 	// Broadcast: binomial vs scatter-allgather.

@@ -13,17 +13,17 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "F8", Kind: "figure", Run: runF8,
+	register(Experiment{ID: "F8", Kind: "figure", Run: runF8, Needs: cluster.CapMultiNode,
 		Title: "HPL GFLOP/s vs process count (strong + weak scaling)"})
-	register(Experiment{ID: "F9", Kind: "figure", Run: runF9,
+	register(Experiment{ID: "F9", Kind: "figure", Run: runF9, Needs: cluster.CapMultiNode,
 		Title: "RandomAccess GUPS vs process count"})
-	register(Experiment{ID: "F10", Kind: "figure", Run: runF10,
+	register(Experiment{ID: "F10", Kind: "figure", Run: runF10, Needs: cluster.CapMultiNode,
 		Title: "PTRANS bandwidth vs process count"})
-	register(Experiment{ID: "F11", Kind: "figure", Run: runF11,
+	register(Experiment{ID: "F11", Kind: "figure", Run: runF11, Needs: cluster.CapMultiNode,
 		Title: "Distributed FFT GFLOP/s vs transform size"})
-	register(Experiment{ID: "T3", Kind: "table", Run: runT3,
+	register(Experiment{ID: "T3", Kind: "table", Run: runT3, Needs: cluster.CapMultiNode,
 		Title: "HPCC suite summary (IB platform, p=8)"})
-	register(Experiment{ID: "F16", Kind: "figure", Run: runF16,
+	register(Experiment{ID: "F16", Kind: "figure", Run: runF16, Needs: cluster.CapMultiNode,
 		Title: "HPL block-size (NB) ablation"})
 }
 
@@ -34,10 +34,28 @@ func hpccProcs(s Scale) []int {
 	return []int{1, 2, 4}
 }
 
-func runF8(w io.Writer, s Scale) error {
+// hpccPlatforms resolves the scaling figures' platform axis: the two
+// canonical fabrics, or the requested preset, cyclic-placed so one
+// rank lands per node and the fabric dominates.
+func hpccPlatforms(r Request) ([]*cluster.Model, error) {
+	ms, err := platformsFor(r, cluster.IBCluster, cluster.GigECluster)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range ms {
+		m.Placement = cluster.Cyclic
+	}
+	return ms, nil
+}
+
+func runF8(w io.Writer, r Request) error {
+	ms, err := hpccPlatforms(r)
+	if err != nil {
+		return err
+	}
 	n := 192
 	nb := 32
-	if s == Full {
+	if r.Scale == Full {
 		n = 768
 		nb = 64
 	}
@@ -61,12 +79,10 @@ func runF8(w io.Writer, s Scale) error {
 		})
 		return g, err
 	}
-	for _, m := range []*cluster.Model{cluster.IBCluster(), cluster.GigECluster()} {
-		m := m
-		m.Placement = cluster.Cyclic // one rank per node: comm dominated
+	for _, m := range ms {
 		strong := fig.AddSeries(m.Name + "/strong")
 		weak := fig.AddSeries(m.Name + "/weak")
-		for _, p := range hpccProcs(s) {
+		for _, p := range hpccProcs(r.Scale) {
 			if p > m.Topo.Nodes {
 				continue
 			}
@@ -93,18 +109,20 @@ func runF8(w io.Writer, s Scale) error {
 // load balance and a long unblocked panel factorization. The sweet spot
 // in between is exactly the NB-tuning exercise every HPL run starts
 // with.
-func runF16(w io.Writer, s Scale) error {
+func runF16(w io.Writer, r Request) error {
+	ms, err := hpccPlatforms(r)
+	if err != nil {
+		return err
+	}
 	n := 256
 	nbs := []int{8, 16, 32, 64, 128}
-	if s == Full {
+	if r.Scale == Full {
 		n = 768
 		nbs = []int{8, 16, 32, 64, 128, 256}
 	}
 	fig := report.NewFigure(fmt.Sprintf("HPL GFLOP/s vs block size (N=%d, p=4)", n),
 		"NB", "GFLOP/s")
-	for _, m := range []*cluster.Model{cluster.IBCluster(), cluster.GigECluster()} {
-		m := m
-		m.Placement = cluster.Cyclic
+	for _, m := range ms {
 		series := fig.AddSeries(m.Name)
 		for _, nb := range nbs {
 			var g float64
@@ -130,18 +148,20 @@ func runF16(w io.Writer, s Scale) error {
 	return fig.Fprint(w)
 }
 
-func runF9(w io.Writer, s Scale) error {
+func runF9(w io.Writer, r Request) error {
+	ms, err := hpccPlatforms(r)
+	if err != nil {
+		return err
+	}
 	bits := 12
-	if s == Full {
+	if r.Scale == Full {
 		bits = 16
 	}
 	fig := report.NewFigure(fmt.Sprintf("RandomAccess GUPS vs processes (2^%d table)", bits),
 		"processes", "GUPS")
-	for _, m := range []*cluster.Model{cluster.IBCluster(), cluster.GigECluster()} {
-		m := m
-		m.Placement = cluster.Cyclic
+	for _, m := range ms {
 		series := fig.AddSeries(m.Name)
-		for _, p := range hpccProcs(s) {
+		for _, p := range hpccProcs(r.Scale) {
 			if p&(p-1) != 0 || p > m.Topo.Nodes {
 				continue
 			}
@@ -168,18 +188,20 @@ func runF9(w io.Writer, s Scale) error {
 	return fig.Fprint(w)
 }
 
-func runF10(w io.Writer, s Scale) error {
+func runF10(w io.Writer, r Request) error {
+	ms, err := hpccPlatforms(r)
+	if err != nil {
+		return err
+	}
 	n := 128
-	if s == Full {
+	if r.Scale == Full {
 		n = 512
 	}
 	fig := report.NewFigure(fmt.Sprintf("PTRANS bandwidth vs processes (N=%d)", n),
 		"processes", "GB/s")
-	for _, m := range []*cluster.Model{cluster.IBCluster(), cluster.GigECluster()} {
-		m := m
-		m.Placement = cluster.Cyclic
+	for _, m := range ms {
 		series := fig.AddSeries(m.Name)
-		for _, p := range hpccProcs(s) {
+		for _, p := range hpccProcs(r.Scale) {
 			if n%p != 0 || p > m.Topo.Nodes {
 				continue
 			}
@@ -204,12 +226,17 @@ func runF10(w io.Writer, s Scale) error {
 	return fig.Fprint(w)
 }
 
-func runF11(w io.Writer, s Scale) error {
-	fig := report.NewFigure("Distributed FFT (p=4, IB) vs transform size", "points", "GFLOP/s")
-	m := cluster.IBCluster()
+func runF11(w io.Writer, r Request) error {
+	ms, err := platformsFor(r, cluster.IBCluster)
+	if err != nil {
+		return err
+	}
+	m := ms[0]
 	m.Placement = cluster.Cyclic
+	fig := report.NewFigure(fmt.Sprintf("Distributed FFT (p=4, %s) vs transform size", m.Name),
+		"points", "GFLOP/s")
 	dims := [][2]int{{64, 64}, {128, 128}, {256, 256}}
-	if s == Full {
+	if r.Scale == Full {
 		dims = append(dims, [2]int{512, 512}, [2]int{1024, 1024})
 	}
 	series := fig.AddSeries(m.Name)
@@ -236,19 +263,26 @@ func runF11(w io.Writer, s Scale) error {
 	return fig.Fprint(w)
 }
 
-func runT3(w io.Writer, s Scale) error {
-	m := cluster.IBCluster()
+func runT3(w io.Writer, r Request) error {
+	ms, err := platformsFor(r, cluster.IBCluster)
+	if err != nil {
+		return err
+	}
+	m := ms[0]
 	p := 8
+	if total := m.Topo.TotalCores(); p > total {
+		p = total
+	}
 	hplN, bits, ptransN := 128, 12, 128
 	fftD := 128
-	if s == Full {
+	if r.Scale == Full {
 		hplN, bits, ptransN, fftD = 512, 16, 512, 512
 	}
 	t := report.NewTable(fmt.Sprintf("HPCC summary (%s, p=%d)", m.Name, p),
 		"kernel", "metric", "value")
 
 	cfg := mp.Config{Fabric: mp.Sim, Model: m}
-	err := mp.Run(p, cfg, func(c *mp.Comm) error {
+	err = mp.Run(p, cfg, func(c *mp.Comm) error {
 		hpl, err := hpcc.HPL(c, hpcc.HPLConfig{
 			N: hplN, NB: 32, Seed: 7, ComputeRate: m.FlopsPerCore, SkipCheck: true,
 		})
@@ -290,7 +324,7 @@ func runT3(w io.Writer, s Scale) error {
 	}
 
 	// DGEMM and STREAM run on the host (real compute), one node's worth.
-	dg, err := hpcc.DGEMM(hpcc.DGEMMConfig{N: dgemmN(s), Threads: runtime.GOMAXPROCS(0), Reps: 3, Seed: 1})
+	dg, err := hpcc.DGEMM(hpcc.DGEMMConfig{N: dgemmN(r.Scale), Threads: runtime.GOMAXPROCS(0), Reps: 3, Seed: 1})
 	if err != nil {
 		return err
 	}

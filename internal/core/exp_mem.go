@@ -9,7 +9,8 @@ package core
 // placement latency ladder with local/remote split recovery (table)
 // and the placement slowdown vs working set (figure). M3-M6 are purely
 // modeled and therefore byte-deterministic; M1/M2 include host
-// measurements.
+// measurements. M1-M4 accept any preset with a memory model; M5/M6
+// need the NUMA capability.
 
 import (
 	"fmt"
@@ -22,47 +23,46 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "M1", Kind: "figure", Run: runM1,
+	register(Experiment{ID: "M1", Kind: "figure", Run: runM1, Needs: cluster.CapMemModel,
 		Title: "Pointer-chase latency ladder vs working set (measured + model)"})
-	register(Experiment{ID: "M2", Kind: "figure", Run: runM2,
+	register(Experiment{ID: "M2", Kind: "figure", Run: runM2, Needs: cluster.CapMemModel,
 		Title: "TLB stress: latency vs pages touched (measured + model modes)"})
-	register(Experiment{ID: "M3", Kind: "table", Run: runM3,
+	register(Experiment{ID: "M3", Kind: "table", Run: runM3, Needs: cluster.CapMemModel,
 		Title: "Page-size / big-memory comparison (modeled latency and reach)"})
-	register(Experiment{ID: "M4", Kind: "table", Run: runM4,
+	register(Experiment{ID: "M4", Kind: "table", Run: runM4, Needs: cluster.CapMemModel,
 		Title: "Memory model fitted-vs-truth (hierarchy recovery from ladders)"})
-	register(Experiment{ID: "M5", Kind: "table", Run: runM5,
+	register(Experiment{ID: "M5", Kind: "table", Run: runM5, Needs: cluster.CapNUMA,
 		Title: "NUMA placement latency ladder with local/remote split recovery"})
-	register(Experiment{ID: "M6", Kind: "figure", Run: runM6,
+	register(Experiment{ID: "M6", Kind: "figure", Run: runM6, Needs: cluster.CapNUMA,
 		Title: "NUMA placement slowdown vs working set (modeled)"})
 }
 
-// memPlatforms returns the presets the M experiments model: the
-// commodity SMP node and the big-memory (BG/P-class) node.
-func memPlatforms() []*cluster.Model {
-	return []*cluster.Model{cluster.SMPNode(), cluster.BGPRack()}
+// memPlatforms resolves the M1-M4 platform axis. The canonical set is
+// the commodity SMP node and the big-memory (BG/P-class) node — the
+// study's central contrast.
+func memPlatforms(r Request) ([]*cluster.Model, error) {
+	return platformsFor(r, cluster.SMPNode, cluster.BGPRack)
 }
 
-// numaPlatforms returns the presets with a multi-node NUMA structure,
-// the ones the placement experiments can say anything about: the fat
-// four-socket node and the dual-controller BG/P node.
-func numaPlatforms() []*cluster.Model {
-	var out []*cluster.Model
-	for _, m := range []*cluster.Model{cluster.FatNUMANode(), cluster.BGPRack()} {
-		if m.Mem != nil && m.Mem.NUMA.Nodes > 1 {
-			out = append(out, m)
-		}
-	}
-	return out
+// numaPlatforms resolves the placement experiments' platform axis. The
+// canonical set is the presets with a multi-node NUMA structure — the
+// fat four-socket node and the dual-controller BG/P node.
+func numaPlatforms(r Request) ([]*cluster.Model, error) {
+	return platformsFor(r, cluster.FatNUMANode, cluster.BGPRack)
 }
 
 // runM1 renders the latency ladder: a measured pointer-chase sweep on
 // the host plus each modeled platform's analytic ladder.
-func runM1(w io.Writer, s Scale) error {
+func runM1(w io.Writer, r Request) error {
+	ms, err := memPlatforms(r)
+	if err != nil {
+		return err
+	}
 	fig := report.NewFigure("Pointer-chase latency ladder", "working set (bytes)", "ns/access")
 
 	cfg := mem.LadderConfig{MinBytes: 4 << 10, MaxBytes: 2 << 20,
 		PointsPerOctave: 2, Iters: 1 << 14, Trials: 1}
-	if s == Full {
+	if r.Scale == Full {
 		cfg = mem.LadderConfig{MinBytes: 4 << 10, MaxBytes: 256 << 20,
 			PointsPerOctave: 4, Iters: 1 << 20, Trials: 3}
 	}
@@ -70,12 +70,12 @@ func runM1(w io.Writer, s Scale) error {
 	if err != nil {
 		return err
 	}
-	ms := fig.AddSeries("measured/host")
+	msr := fig.AddSeries("measured/host")
 	for _, p := range measured {
-		ms.Add(float64(p.Bytes), p.Seconds*1e9)
+		msr.Add(float64(p.Bytes), p.Seconds*1e9)
 	}
 
-	for _, m := range memPlatforms() {
+	for _, m := range ms {
 		maxBytes := 4 * m.Mem.Levels[len(m.Mem.Levels)-1].Capacity
 		series := fig.AddSeries("model/" + m.Name)
 		for _, p := range m.Mem.Ladder(4<<10, maxBytes, 4) {
@@ -89,12 +89,16 @@ func runM1(w io.Writer, s Scale) error {
 // the host, and each platform model evaluated in both mapping modes so
 // the paged-mode walk penalty past TLB reach is visible against the
 // big-memory curve.
-func runM2(w io.Writer, s Scale) error {
+func runM2(w io.Writer, r Request) error {
+	ms, err := memPlatforms(r)
+	if err != nil {
+		return err
+	}
 	fig := report.NewFigure("TLB stress latency", "working set (bytes)", "ns/access")
 
 	cfg := mem.TLBConfig{MinPages: 16, MaxPages: 1 << 11, PointsPerOctave: 2,
 		Iters: 1 << 13, Trials: 1}
-	if s == Full {
+	if r.Scale == Full {
 		cfg = mem.TLBConfig{MinPages: 16, MaxPages: 1 << 16, PointsPerOctave: 4,
 			Iters: 1 << 19, Trials: 3}
 	}
@@ -102,12 +106,12 @@ func runM2(w io.Writer, s Scale) error {
 	if err != nil {
 		return err
 	}
-	ms := fig.AddSeries("measured/host-4KiB-pages")
+	msr := fig.AddSeries("measured/host-4KiB-pages")
 	for _, p := range measured {
-		ms.Add(float64(p.Pages*4096), p.Seconds*1e9)
+		msr.Add(float64(p.Pages*4096), p.Seconds*1e9)
 	}
 
-	for _, m := range memPlatforms() {
+	for _, m := range ms {
 		for _, mode := range []mem.Mode{mem.Paged, mem.BigMemory} {
 			mm := m.Mem.WithMode(mode)
 			// Sweep past the paged-mode reach so the knee shows.
@@ -125,12 +129,16 @@ func runM2(w io.Writer, s Scale) error {
 // size, TLB reach, modeled steady-state latency at representative
 // working sets, the paged-over-bigmem slowdown, and the one-time
 // demand-paging cost of first touch.
-func runM3(w io.Writer, _ Scale) error {
+func runM3(w io.Writer, r Request) error {
+	ms, err := memPlatforms(r)
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Page-size / big-memory comparison",
 		"platform", "mode", "page", "TLB reach", "ws", "latency (ns)",
 		"slowdown", "first-touch (ms)")
 	workingSets := []int{1 << 20, 64 << 20, 1 << 30}
-	for _, m := range memPlatforms() {
+	for _, m := range ms {
 		for _, ws := range workingSets {
 			big := m.Mem.WithMode(mem.BigMemory)
 			for _, mode := range []mem.Mode{mem.Paged, mem.BigMemory} {
@@ -150,15 +158,19 @@ func runM3(w io.Writer, _ Scale) error {
 // hierarchy back with perfmodel.FitHierarchy, and tabulates recovered
 // vs configured capacity and latency per level — the M-family analogue
 // of F13.
-func runM4(w io.Writer, s Scale) error {
+func runM4(w io.Writer, r Request) error {
+	ms, err := memPlatforms(r)
+	if err != nil {
+		return err
+	}
 	ppo := 4
-	if s == Full {
+	if r.Scale == Full {
 		ppo = 8
 	}
 	t := report.NewTable("Hierarchy fit vs model truth",
 		"platform", "level", "true cap", "fit cap", "cap err %",
 		"true ns", "fit ns", "lat err %", "R2")
-	for _, m := range memPlatforms() {
+	for _, m := range ms {
 		mm := m.Mem.WithMode(mem.BigMemory)
 		maxBytes := 8 * mm.Levels[len(mm.Levels)-1].Capacity
 		fit, err := perfmodel.FitHierarchy(mm.Ladder(4<<10, maxBytes, ppo), len(mm.Levels)+1)
@@ -194,11 +206,15 @@ func runM4(w io.Writer, s Scale) error {
 // then closes the loop like M4: a first-touch and a remote ladder are
 // generated from each model and perfmodel.FitNUMASplit recovers the
 // local/remote memory-latency split, compared against configured truth.
-func runM5(w io.Writer, s Scale) error {
+func runM5(w io.Writer, r Request) error {
+	ms, err := numaPlatforms(r)
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("NUMA placement latency ladder",
 		"platform", "mode", "ws", "placement", "latency (ns)", "slowdown")
 	workingSets := []int{1 << 20, 64 << 20, 1 << 30}
-	for _, m := range numaPlatforms() {
+	for _, m := range ms {
 		for _, mode := range []mem.Mode{mem.Paged, mem.BigMemory} {
 			for _, ws := range workingSets {
 				for _, p := range mem.Placements {
@@ -214,13 +230,13 @@ func runM5(w io.Writer, s Scale) error {
 	}
 
 	ppo := 4
-	if s == Full {
+	if r.Scale == Full {
 		ppo = 8
 	}
 	ft := report.NewTable("NUMA split fitted vs truth",
 		"platform", "true local", "fit local", "true remote", "fit remote",
 		"true ratio", "fit ratio", "R2")
-	for _, m := range numaPlatforms() {
+	for _, m := range ms {
 		split, err := perfmodel.FitNUMASplitFromModel(m.Mem, ppo)
 		if err != nil {
 			return fmt.Errorf("numa split %s: %w", m.Name, err)
@@ -239,14 +255,18 @@ func runM5(w io.Writer, s Scale) error {
 // relative to first-touch as the working set grows. Cache-resident
 // sets sit at 1; the curves rise through the capacity knees toward the
 // placement's memory-latency ratio.
-func runM6(w io.Writer, s Scale) error {
+func runM6(w io.Writer, r Request) error {
+	ms, err := numaPlatforms(r)
+	if err != nil {
+		return err
+	}
 	fig := report.NewFigure("NUMA placement slowdown",
 		"working set (bytes)", "slowdown vs first-touch")
 	ppo := 2
-	if s == Full {
+	if r.Scale == Full {
 		ppo = 4
 	}
-	for _, m := range numaPlatforms() {
+	for _, m := range ms {
 		mm := m.Mem
 		maxBytes := 16 * mm.Levels[len(mm.Levels)-1].Capacity
 		for _, p := range []mem.Placement{mem.Interleave, mem.Remote} {

@@ -12,17 +12,17 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "F1", Kind: "figure", Run: runF1,
+	register(Experiment{ID: "F1", Kind: "figure", Run: runF1, Needs: cluster.CapMultiNode,
 		Title: "Point-to-point latency vs message size, by path class"})
-	register(Experiment{ID: "F2", Kind: "figure", Run: runF2,
+	register(Experiment{ID: "F2", Kind: "figure", Run: runF2, Needs: cluster.CapMultiNode,
 		Title: "Point-to-point bandwidth vs message size"})
-	register(Experiment{ID: "F3", Kind: "figure", Run: runF3,
+	register(Experiment{ID: "F3", Kind: "figure", Run: runF3, Needs: cluster.CapMultiNode,
 		Title: "Bidirectional bandwidth vs message size"})
-	register(Experiment{ID: "F4", Kind: "figure", Run: runF4,
+	register(Experiment{ID: "F4", Kind: "figure", Run: runF4, Needs: cluster.CapMultiNode,
 		Title: "Multi-pair aggregate bandwidth (shared NIC saturation)"})
-	register(Experiment{ID: "F12", Kind: "figure", Run: runF12,
+	register(Experiment{ID: "F12", Kind: "figure", Run: runF12, Needs: cluster.CapMultiNode,
 		Title: "Eager vs rendezvous protocol crossover (ablation)"})
-	register(Experiment{ID: "F13", Kind: "table", Run: runF13,
+	register(Experiment{ID: "F13", Kind: "table", Run: runF13, Needs: cluster.CapMultiNode,
 		Title: "LogGP parameters fitted from measurements vs configured truth"})
 }
 
@@ -56,6 +56,23 @@ func pairForClass(m *cluster.Model, n int, pc cluster.PathClass) (int, int) {
 	}
 }
 
+// pathClassesOf returns the path classes a model actually has: a
+// single-socket node collapses intra-node onto the fabric, so only
+// multi-socket models get the intra-node pair.
+func pathClassesOf(m *cluster.Model, classes []cluster.PathClass) []cluster.PathClass {
+	var out []cluster.PathClass
+	for _, pc := range classes {
+		if pc == cluster.IntraNode && m.Topo.SocketsPerNode < 2 {
+			continue
+		}
+		if pc == cluster.IntraSocket && m.Topo.CoresPerSocket < 2 {
+			continue
+		}
+		out = append(out, pc)
+	}
+	return out
+}
+
 // runP2PCurve runs fn inside an mp.Run on the model's full rank count
 // and returns the measured samples for the given pair.
 func runP2PCurve(m *cluster.Model, pairA, pairB int, opts osu.Options,
@@ -78,13 +95,18 @@ func runP2PCurve(m *cluster.Model, pairA, pairB int, opts osu.Options,
 	return out, err
 }
 
-func runF1(w io.Writer, s Scale) error {
+func runF1(w io.Writer, r Request) error {
+	ms, err := platformsFor(r, cluster.IBCluster, cluster.GigECluster)
+	if err != nil {
+		return err
+	}
 	fig := report.NewFigure("P2P latency vs message size", "bytes", "microseconds")
-	for _, m := range []*cluster.Model{cluster.IBCluster(), cluster.GigECluster()} {
+	for _, m := range ms {
 		n := m.Topo.TotalCores()
-		for _, pc := range []cluster.PathClass{cluster.IntraSocket, cluster.IntraNode, cluster.InterNode} {
+		classes := []cluster.PathClass{cluster.IntraSocket, cluster.IntraNode, cluster.InterNode}
+		for _, pc := range pathClassesOf(m, classes) {
 			a, b := pairForClass(m, n, pc)
-			samples, err := runP2PCurve(m, a, b, sweepOpts(s), osu.Latency)
+			samples, err := runP2PCurve(m, a, b, sweepOpts(r.Scale), osu.Latency)
 			if err != nil {
 				return err
 			}
@@ -97,13 +119,18 @@ func runF1(w io.Writer, s Scale) error {
 	return fig.Fprint(w)
 }
 
-func runF2(w io.Writer, s Scale) error {
+func runF2(w io.Writer, r Request) error {
+	ms, err := platformsFor(r, cluster.IBCluster, cluster.GigECluster)
+	if err != nil {
+		return err
+	}
 	fig := report.NewFigure("P2P bandwidth vs message size", "bytes", "MB/s")
-	for _, m := range []*cluster.Model{cluster.IBCluster(), cluster.GigECluster()} {
+	for _, m := range ms {
 		n := m.Topo.TotalCores()
-		for _, pc := range []cluster.PathClass{cluster.IntraSocket, cluster.InterNode} {
+		classes := []cluster.PathClass{cluster.IntraSocket, cluster.InterNode}
+		for _, pc := range pathClassesOf(m, classes) {
 			a, b := pairForClass(m, n, pc)
-			samples, err := runP2PCurve(m, a, b, sweepOpts(s), osu.Bandwidth)
+			samples, err := runP2PCurve(m, a, b, sweepOpts(r.Scale), osu.Bandwidth)
 			if err != nil {
 				return err
 			}
@@ -116,16 +143,20 @@ func runF2(w io.Writer, s Scale) error {
 	return fig.Fprint(w)
 }
 
-func runF3(w io.Writer, s Scale) error {
+func runF3(w io.Writer, r Request) error {
+	ms, err := platformsFor(r, cluster.IBCluster, cluster.GigECluster)
+	if err != nil {
+		return err
+	}
 	fig := report.NewFigure("Bidirectional bandwidth vs message size", "bytes", "MB/s")
-	for _, m := range []*cluster.Model{cluster.IBCluster(), cluster.GigECluster()} {
+	for _, m := range ms {
 		n := m.Topo.TotalCores()
 		a, b := pairForClass(m, n, cluster.InterNode)
-		uni, err := runP2PCurve(m, a, b, sweepOpts(s), osu.Bandwidth)
+		uni, err := runP2PCurve(m, a, b, sweepOpts(r.Scale), osu.Bandwidth)
 		if err != nil {
 			return err
 		}
-		bi, err := runP2PCurve(m, a, b, sweepOpts(s), osu.BiBandwidth)
+		bi, err := runP2PCurve(m, a, b, sweepOpts(r.Scale), osu.BiBandwidth)
 		if err != nil {
 			return err
 		}
@@ -141,22 +172,26 @@ func runF3(w io.Writer, s Scale) error {
 	return fig.Fprint(w)
 }
 
-// narrowNodeIB is an IB model with 4-core single-socket nodes so that a
-// multi-pair run under block placement puts all senders on one node:
-// their traffic shares one NIC, producing the saturation curve F4 shows.
-func narrowNodeIB() *cluster.Model {
-	m := cluster.IBCluster()
-	m.Name = "ib-narrow"
+// narrowNode reshapes a platform to 4-core single-socket nodes so that
+// a multi-pair run under block placement puts all senders on one node:
+// their traffic shares one NIC, producing the saturation curve F4
+// shows. The fabric and node parameters are the preset's own.
+func narrowNode(m *cluster.Model) *cluster.Model {
+	m.Name += "-narrow"
 	m.Topo = cluster.Topology{Nodes: 8, SocketsPerNode: 1, CoresPerSocket: 4}
 	return m
 }
 
-func runF4(w io.Writer, s Scale) error {
-	m := narrowNodeIB()
+func runF4(w io.Writer, r Request) error {
+	ms, err := platformsFor(r, cluster.IBCluster)
+	if err != nil {
+		return err
+	}
+	m := narrowNode(ms[0])
 	fig := report.NewFigure("Multi-pair aggregate bandwidth (senders share a NIC)",
 		"pairs", "MB/s")
 	sizes := []int{4096, 65536, 1 << 20}
-	if s == Quick {
+	if r.Scale == Quick {
 		sizes = []int{65536}
 	}
 	for _, size := range sizes {
@@ -184,12 +219,16 @@ func runF4(w io.Writer, s Scale) error {
 	return fig.Fprint(w)
 }
 
-func runF12(w io.Writer, s Scale) error {
-	m := cluster.IBCluster()
+func runF12(w io.Writer, r Request) error {
+	ms, err := platformsFor(r, cluster.IBCluster)
+	if err != nil {
+		return err
+	}
+	m := ms[0]
 	n := m.Topo.TotalCores()
 	fig := report.NewFigure("Eager vs rendezvous latency (inter-node)", "bytes", "microseconds")
 	sizes := []int{64, 1024, 8192, 65536, 262144, 1 << 20}
-	if s == Full {
+	if r.Scale == Full {
 		sizes = nil
 		for sz := 64; sz <= 4<<20; sz <<= 1 {
 			sizes = append(sizes, sz)
@@ -228,11 +267,15 @@ func runF12(w io.Writer, s Scale) error {
 	return fig.Fprint(w)
 }
 
-func runF13(w io.Writer, s Scale) error {
-	m := cluster.GigECluster()
+func runF13(w io.Writer, r Request) error {
+	ms, err := platformsFor(r, cluster.GigECluster)
+	if err != nil {
+		return err
+	}
+	m := ms[0]
 	n := m.Topo.TotalCores()
 	a, b := pairForClass(m, n, cluster.InterNode)
-	opts := sweepOpts(s)
+	opts := sweepOpts(r.Scale)
 	// Fit the latency model over the linear region only (small
 	// messages are pure eager; keep within the eager threshold).
 	var latSizes []int
@@ -256,7 +299,7 @@ func runF13(w io.Writer, s Scale) error {
 		return err
 	}
 	truth := m.Links.InterNode
-	t := report.NewTable("LogGP fit vs configured truth (gige-8n inter-node)",
+	t := report.NewTable(fmt.Sprintf("LogGP fit vs configured truth (%s inter-node)", m.Name),
 		"parameter", "truth", "fitted", "rel.err")
 	trueLat := truth.TransferTime(0)
 	t.AddRow("L+2o (us)", trueLat*1e6, fit.LPlus2o*1e6, perfmodel.RelErr(fit.LPlus2o, trueLat))

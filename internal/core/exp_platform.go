@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/hpcc"
@@ -23,17 +24,34 @@ func init() {
 		Title: "Cross-platform comparison: GigE-class vs IB-class fabric",
 		Kind:  "table",
 		Run:   runT4,
+		Needs: cluster.CapMultiNode,
 	})
+}
+
+// shortName abbreviates a preset name to its family prefix for winner
+// labels: "gige-8n" -> "gige", "ib-8n" -> "ib".
+func shortName(name string) string {
+	if i := strings.IndexByte(name, '-'); i > 0 {
+		return name[:i]
+	}
+	return name
 }
 
 // runT1 prints the platform inventory: what a measurement paper's
 // "experimental setup" table reports, except here the numbers are the
-// simulator's configured truth.
-func runT1(w io.Writer, _ Scale) error {
+// simulator's configured truth. The default request covers the
+// canonical testbed trio; an explicit platform prints that preset's
+// rows alone.
+func runT1(w io.Writer, r Request) error {
+	ms, err := platformsFor(r, cluster.SMPNode, cluster.GigECluster, cluster.IBCluster)
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Platform parameters",
 		"platform", "topology", "path", "latency(us)", "bandwidth(MB/s)")
-	for _, m := range []*cluster.Model{cluster.SMPNode(), cluster.GigECluster(), cluster.IBCluster()} {
-		for _, pc := range []cluster.PathClass{cluster.IntraSocket, cluster.IntraNode, cluster.InterNode} {
+	for _, m := range ms {
+		classes := []cluster.PathClass{cluster.IntraSocket, cluster.IntraNode, cluster.InterNode}
+		for _, pc := range pathClassesOf(m, classes) {
 			if m.Topo.Nodes == 1 && pc == cluster.InterNode {
 				continue
 			}
@@ -45,17 +63,25 @@ func runT1(w io.Writer, _ Scale) error {
 	if err := t.Fprint(w); err != nil {
 		return err
 	}
+	// The canonical node-parameter rows cover the two fabrics only
+	// (smp-1n shares their node); an explicit platform shows itself.
+	nodeMs := ms
+	if r.Platform == "" {
+		nodeMs = ms[1:]
+	}
 	t2 := report.NewTable("Node parameters",
 		"platform", "mem BW/socket (GB/s)", "mem BW/core (GB/s)", "peak GFLOP/s/core")
-	for _, m := range []*cluster.Model{cluster.GigECluster(), cluster.IBCluster()} {
+	for _, m := range nodeMs {
 		t2.AddRow(m.Name, m.MemBWPerSocket/1e9, m.MemBWPerCore/1e9, m.FlopsPerCore/1e9)
 	}
 	return t2.Fprint(w)
 }
 
-// runT4 runs the same battery on both fabrics and tabulates the
-// head-to-head, the paper's summary comparison.
-func runT4(w io.Writer, s Scale) error {
+// runT4 runs the same battery on every requested fabric and tabulates
+// the head-to-head, the paper's summary comparison. With a single
+// explicit platform the winner column (meaningless for one entrant)
+// is dropped.
+func runT4(w io.Writer, r Request) error {
 	type row struct {
 		smallLat  float64 // 8B inter-node latency (us)
 		peakBW    float64 // 1 MiB p2p bandwidth (MB/s)
@@ -64,20 +90,23 @@ func runT4(w io.Writer, s Scale) error {
 		ringNat   float64 // natural ring bw (MB/s)
 		ringRnd   float64 // random ring bw (MB/s)
 	}
+	ms, err := platformsFor(r, cluster.GigECluster, cluster.IBCluster)
+	if err != nil {
+		return err
+	}
 	p := 8
 	tableBits := 14
 	iters := 50
-	if s == Quick {
+	if r.Scale == Quick {
 		tableBits = 10
 		iters = 10
 	}
-	results := map[string]row{}
-	for _, m := range []*cluster.Model{cluster.GigECluster(), cluster.IBCluster()} {
-		m := m
+	results := make([]row, len(ms))
+	for i, m := range ms {
 		// One rank per node: cyclic placement puts neighbours off-node,
 		// so the fabric (not shared memory) is what gets compared.
 		m.Placement = cluster.Cyclic
-		var r row
+		var rr row
 		cfg := mp.Config{Fabric: mp.Sim, Model: m}
 		err := mp.Run(p, cfg, func(c *mp.Comm) error {
 			opts := osu.Options{Sizes: []int{8, 1 << 20}, Warmup: 5, Iters: iters, Window: 32,
@@ -111,7 +140,7 @@ func runT4(w io.Writer, s Scale) error {
 				return err
 			}
 			if c.Rank() == 0 {
-				r = row{
+				rr = row{
 					smallLat:  lat[0].Value * 1e6,
 					peakBW:    bw[1].Value / 1e6,
 					allreduce: ar * 1e6,
@@ -125,23 +154,47 @@ func runT4(w io.Writer, s Scale) error {
 		if err != nil {
 			return fmt.Errorf("platform %s: %w", m.Name, err)
 		}
-		results[m.Name] = r
+		results[i] = rr
 	}
-	t := report.NewTable(fmt.Sprintf("Platform comparison (p=%d, one rank/node)", p),
-		"metric", "gige-8n", "ib-8n", "winner")
-	g, ib := results["gige-8n"], results["ib-8n"]
-	add := func(name string, gv, iv float64, lowerBetter bool) {
-		win := "ib"
-		if (lowerBetter && gv < iv) || (!lowerBetter && gv > iv) {
-			win = "gige"
+	cols := []string{"metric"}
+	for _, m := range ms {
+		cols = append(cols, m.Name)
+	}
+	compare := len(ms) > 1
+	if compare {
+		cols = append(cols, "winner")
+	}
+	t := report.NewTable(fmt.Sprintf("Platform comparison (p=%d, one rank/node)", p), cols...)
+	add := func(name string, vals []float64, lowerBetter bool) {
+		cells := []any{name}
+		for _, v := range vals {
+			cells = append(cells, v)
 		}
-		t.AddRow(name, gv, iv, win)
+		if compare {
+			// Later platforms take ties, reproducing the historical
+			// gige-vs-ib rule ("ib unless gige is strictly better").
+			best, win := vals[0], shortName(ms[0].Name)
+			for i := 1; i < len(vals); i++ {
+				if (lowerBetter && vals[i] <= best) || (!lowerBetter && vals[i] >= best) {
+					best, win = vals[i], shortName(ms[i].Name)
+				}
+			}
+			cells = append(cells, win)
+		}
+		t.AddRow(cells...)
 	}
-	add("8B latency (us)", g.smallLat, ib.smallLat, true)
-	add("1MiB p2p BW (MB/s)", g.peakBW, ib.peakBW, false)
-	add("8B allreduce (us)", g.allreduce, ib.allreduce, true)
-	add("RandomAccess (GUPS)", g.gups, ib.gups, false)
-	add("natural ring BW (MB/s)", g.ringNat, ib.ringNat, false)
-	add("random ring BW (MB/s)", g.ringRnd, ib.ringRnd, false)
+	pick := func(f func(row) float64) []float64 {
+		out := make([]float64, len(results))
+		for i, rr := range results {
+			out[i] = f(rr)
+		}
+		return out
+	}
+	add("8B latency (us)", pick(func(r row) float64 { return r.smallLat }), true)
+	add("1MiB p2p BW (MB/s)", pick(func(r row) float64 { return r.peakBW }), false)
+	add("8B allreduce (us)", pick(func(r row) float64 { return r.allreduce }), true)
+	add("RandomAccess (GUPS)", pick(func(r row) float64 { return r.gups }), false)
+	add("natural ring BW (MB/s)", pick(func(r row) float64 { return r.ringNat }), false)
+	add("random ring BW (MB/s)", pick(func(r row) float64 { return r.ringRnd }), false)
 	return t.Fprint(w)
 }

@@ -12,7 +12,7 @@ import (
 func init() {
 	register(Experiment{ID: "F7", Kind: "figure", Run: runF7,
 		Title: "STREAM Triad bandwidth vs thread count (measured + model)"})
-	register(Experiment{ID: "T2", Kind: "table", Run: runT2,
+	register(Experiment{ID: "T2", Kind: "table", Run: runT2, NoPlatform: true,
 		Title: "STREAM Copy/Scale/Add/Triad bandwidth table"})
 }
 
@@ -23,7 +23,11 @@ func streamN(s Scale) int {
 	return 1 << 18
 }
 
-func runF7(w io.Writer, s Scale) error {
+func runF7(w io.Writer, r Request) error {
+	ms, err := platformsFor(r, cluster.SMPNode)
+	if err != nil {
+		return err
+	}
 	fig := report.NewFigure("STREAM Triad bandwidth vs threads", "threads", "MB/s")
 	maxT := runtime.GOMAXPROCS(0)
 	threads := []int{1}
@@ -31,7 +35,7 @@ func runF7(w io.Writer, s Scale) error {
 		threads = append(threads, t)
 	}
 	ntimes := 5
-	if s == Full {
+	if r.Scale == Full {
 		ntimes = 10
 	}
 
@@ -43,7 +47,7 @@ func runF7(w io.Writer, s Scale) error {
 		series := fig.AddSeries(name)
 		for _, t := range threads {
 			res, err := stream.Run(stream.Config{
-				N: streamN(s), NTimes: ntimes, Threads: t, FirstTouch: ft,
+				N: streamN(r.Scale), NTimes: ntimes, Threads: t, FirstTouch: ft,
 			})
 			if err != nil {
 				return err
@@ -52,19 +56,20 @@ func runF7(w io.Writer, s Scale) error {
 		}
 	}
 
-	// Model curve from the SMP node parameters.
-	m := cluster.SMPNode()
-	series := fig.AddSeries("model/" + m.Name)
-	for _, t := range threads {
-		bw := stream.ModelTriadRate(t, m.Topo.CoresPerSocket, m.MemBWPerCore, m.MemBWPerSocket)
-		series.Add(float64(t), bw/1e6)
+	// Model curve from the platform's node parameters.
+	for _, m := range ms {
+		series := fig.AddSeries("model/" + m.Name)
+		for _, t := range threads {
+			bw := stream.ModelTriadRate(t, m.Topo.CoresPerSocket, m.MemBWPerCore, m.MemBWPerSocket)
+			series.Add(float64(t), bw/1e6)
+		}
 	}
 	return fig.Fprint(w)
 }
 
-func runT2(w io.Writer, s Scale) error {
+func runT2(w io.Writer, r Request) error {
 	res, err := stream.Run(stream.Config{
-		N: streamN(s), NTimes: 10, FirstTouch: true,
+		N: streamN(r.Scale), NTimes: 10, FirstTouch: true,
 	})
 	if err != nil {
 		return err

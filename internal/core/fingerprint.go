@@ -8,14 +8,20 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+
+	"repro/internal/cluster"
 )
 
 // Fingerprint hashes the build identity of the running binary together
 // with the shape of the experiment registry — the sorted experiment
-// (ID, kind, title) triples and the scale definitions. Two processes
-// share a fingerprint exactly when they were built from the same code
-// and register the same experiments, which is the precondition for
-// trusting each other's cached results.
+// (ID, kind, title, platform needs) tuples, the scale definitions, and
+// the platform preset registry (names, capability tags, topologies).
+// Two processes share a fingerprint exactly when they were built from
+// the same code and register the same experiments over the same
+// presets, which is the precondition for trusting each other's cached
+// results: a renamed preset or a changed capability set silently
+// changes what a (id, scale, platform) key means, so it must purge
+// the store.
 //
 // Build identity comes from runtime/debug.ReadBuildInfo: the main
 // module's path/version/sum and the VCS revision/time/dirty-flag
@@ -38,10 +44,13 @@ func Fingerprint() string {
 		}
 	}
 	for _, e := range All() {
-		fmt.Fprintln(h, e.ID, e.Kind, e.Title)
+		fmt.Fprintln(h, e.ID, e.Kind, e.Title, uint32(e.Needs), e.NoPlatform)
 	}
 	for _, s := range []Scale{Quick, Full} {
 		fmt.Fprintln(h, int(s), s.String())
+	}
+	for _, line := range cluster.RegistryShape() {
+		fmt.Fprintln(h, line)
 	}
 	return fmt.Sprintf("%x", h.Sum(nil))
 }

@@ -20,30 +20,38 @@ import (
 // re-rendered (text, CSV, JSON) without re-running.
 type Result struct {
 	Experiment Experiment
-	Scale      Scale
+	Req        Request
 	Rec        *report.Recorder
 	Elapsed    time.Duration
 	Err        error
 }
 
 // Run executes one experiment against a fresh Recorder and times it.
-// A failing experiment still returns whatever output it produced
+// An invalid platform for this experiment fails before anything runs;
+// a failing experiment still returns whatever output it produced
 // before the error.
-func Run(e Experiment, s Scale) Result {
+func Run(e Experiment, r Request) Result {
 	rec := report.NewRecorder()
+	if err := e.CheckPlatform(r.Platform); err != nil {
+		return Result{Experiment: e, Req: r, Rec: rec, Err: err}
+	}
 	t0 := time.Now()
-	err := e.Run(rec, s)
-	return Result{Experiment: e, Scale: s, Rec: rec, Elapsed: time.Since(t0), Err: err}
+	err := e.Run(rec, r)
+	return Result{Experiment: e, Req: r, Rec: rec, Elapsed: time.Since(t0), Err: err}
 }
 
 // resolve maps experiment IDs to registry entries, failing on the
-// first unknown ID so nothing runs on a typo.
-func resolve(ids []string) ([]Experiment, error) {
+// first unknown ID — or, with an explicit platform, the first ID the
+// platform is incompatible with — so nothing runs on a typo.
+func resolve(ids []string, r Request) ([]Experiment, error) {
 	exps := make([]Experiment, len(ids))
 	for i, id := range ids {
 		e, ok := Get(id)
 		if !ok {
 			return nil, fmt.Errorf("core: unknown experiment %q", id)
+		}
+		if err := e.CheckPlatform(r.Platform); err != nil {
+			return nil, err
 		}
 		exps[i] = e
 	}
@@ -53,7 +61,7 @@ func resolve(ids []string) ([]Experiment, error) {
 // runPool executes exps on `workers` goroutines via run, invoking fn
 // with the input index as each completes. fn is called from worker
 // goroutines and must be safe for concurrent use.
-func runPool(exps []Experiment, s Scale, workers int, run func(Experiment, Scale) Result, fn func(int, Result)) {
+func runPool(exps []Experiment, r Request, workers int, run func(Experiment, Request) Result, fn func(int, Result)) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -71,7 +79,7 @@ func runPool(exps []Experiment, s Scale, workers int, run func(Experiment, Scale
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				fn(j.i, run(j.e, s))
+				fn(j.i, run(j.e, r))
 			}
 		}()
 	}
@@ -85,33 +93,35 @@ func runPool(exps []Experiment, s Scale, workers int, run func(Experiment, Scale
 // RunParallel executes the named experiments on a pool of `workers`
 // goroutines and returns their results in the order of ids. Per-run
 // errors are carried in each Result; the returned error is non-nil
-// only for an unknown ID, in which case nothing runs.
-func RunParallel(ids []string, s Scale, workers int) ([]Result, error) {
-	exps, err := resolve(ids)
+// only for an unknown ID or an incompatible platform, in which case
+// nothing runs.
+func RunParallel(ids []string, r Request, workers int) ([]Result, error) {
+	exps, err := resolve(ids, r)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Result, len(exps))
-	runPool(exps, s, workers, Run, func(i int, r Result) { out[i] = r })
+	runPool(exps, r, workers, Run, func(i int, res Result) { out[i] = res })
 	return out, nil
 }
 
 // RunParallelFunc is the streaming form of RunParallel: fn is invoked
 // from worker goroutines as each experiment completes, in completion
 // order. It returns only after every run has finished (and its fn
-// call returned), or immediately with an error on an unknown ID.
-func RunParallelFunc(ids []string, s Scale, workers int, fn func(Result)) error {
-	return RunParallelWith(ids, s, workers, Run, fn)
+// call returned), or immediately with an error on an unknown ID or
+// incompatible platform.
+func RunParallelFunc(ids []string, r Request, workers int, fn func(Result)) error {
+	return RunParallelWith(ids, r, workers, Run, fn)
 }
 
 // RunParallelWith is RunParallelFunc with the per-experiment executor
 // swapped out — callers that wrap Run (instrumentation, limits, test
 // stubs) get the same worker pool driven through their wrapper.
-func RunParallelWith(ids []string, s Scale, workers int, run func(Experiment, Scale) Result, fn func(Result)) error {
-	exps, err := resolve(ids)
+func RunParallelWith(ids []string, r Request, workers int, run func(Experiment, Request) Result, fn func(Result)) error {
+	exps, err := resolve(ids, r)
 	if err != nil {
 		return err
 	}
-	runPool(exps, s, workers, run, func(_ int, r Result) { fn(r) })
+	runPool(exps, r, workers, run, func(_ int, res Result) { fn(res) })
 	return nil
 }

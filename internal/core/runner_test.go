@@ -15,10 +15,10 @@ const detTable = "T1"
 func TestRunCapturesSerialOutput(t *testing.T) {
 	e, _ := Get(detTable)
 	var serial bytes.Buffer
-	if err := e.Run(&serial, Quick); err != nil {
+	if err := e.Run(&serial, Request{Scale: Quick}); err != nil {
 		t.Fatal(err)
 	}
-	r := Run(e, Quick)
+	r := Run(e, Request{Scale: Quick})
 	if r.Err != nil {
 		t.Fatal(r.Err)
 	}
@@ -28,11 +28,52 @@ func TestRunCapturesSerialOutput(t *testing.T) {
 	if r.Elapsed <= 0 {
 		t.Error("Run did not time the experiment")
 	}
-	if r.Experiment.ID != detTable || r.Scale != Quick {
+	if r.Experiment.ID != detTable || r.Req.Scale != Quick || r.Req.Platform != "" {
 		t.Errorf("Run metadata wrong: %+v", r)
 	}
 	if len(r.Rec.Document().Sections) == 0 {
 		t.Error("Run captured no structured sections")
+	}
+}
+
+func TestRunRejectsIncompatiblePlatform(t *testing.T) {
+	// Run validates the platform before executing, so a direct caller
+	// cannot bypass the compatibility contract.
+	f1, _ := Get("F1")
+	r := Run(f1, Request{Scale: Quick, Platform: "smp-1n"})
+	if r.Err == nil {
+		t.Error("Run executed F1 on a single-node platform")
+	}
+	if r.Elapsed != 0 {
+		t.Error("rejected run reported a nonzero elapsed time")
+	}
+	r = Run(f1, Request{Scale: Quick, Platform: "no-such"})
+	if r.Err == nil {
+		t.Error("Run executed on an unknown platform")
+	}
+}
+
+func TestRunExplicitPlatform(t *testing.T) {
+	// An explicit single platform restricts the output to that preset.
+	t1, _ := Get("T1")
+	r := Run(t1, Request{Scale: Quick, Platform: "gige-8n"})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	out := r.Rec.Text()
+	if !strings.Contains(out, "gige-8n") {
+		t.Errorf("explicit-platform T1 missing its platform: %s", out)
+	}
+	if strings.Contains(out, "ib-8n") || strings.Contains(out, "smp-1n") {
+		t.Errorf("explicit-platform T1 leaked other presets: %s", out)
+	}
+	// And differs from the default canonical-set output.
+	def := Run(t1, Request{Scale: Quick})
+	if def.Err != nil {
+		t.Fatal(def.Err)
+	}
+	if def.Rec.Text() == out {
+		t.Error("explicit platform output identical to default set output")
 	}
 }
 
@@ -46,13 +87,13 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	for _, id := range ids {
 		e, _ := Get(id)
 		var b bytes.Buffer
-		if err := e.Run(&b, Quick); err != nil {
+		if err := e.Run(&b, Request{Scale: Quick}); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 		serial[id] = b.String()
 	}
 
-	results, err := RunParallel(ids, Quick, 3)
+	results, err := RunParallel(ids, Request{Scale: Quick}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,20 +114,44 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 }
 
 func TestRunParallelUnknownID(t *testing.T) {
-	if _, err := RunParallel([]string{"T1", "Z9"}, Quick, 2); err == nil {
+	if _, err := RunParallel([]string{"T1", "Z9"}, Request{Scale: Quick}, 2); err == nil {
 		t.Error("unknown ID did not fail")
 	}
-	if err := RunParallelFunc([]string{"Z9"}, Quick, 1, func(Result) {
+	if err := RunParallelFunc([]string{"Z9"}, Request{Scale: Quick}, 1, func(Result) {
 		t.Error("fn called despite unknown ID")
 	}); err == nil {
 		t.Error("unknown ID did not fail")
 	}
 }
 
+func TestRunParallelIncompatiblePlatform(t *testing.T) {
+	// An explicit platform incompatible with any requested ID fails
+	// the whole batch up front — nothing runs on a half-valid request.
+	err := RunParallelFunc([]string{"T1", "F1"}, Request{Scale: Quick, Platform: "smp-1n"}, 2, func(Result) {
+		t.Error("fn called despite incompatible platform")
+	})
+	if err == nil {
+		t.Error("incompatible platform did not fail")
+	}
+	// The same IDs on a compatible platform run fine.
+	results, err := RunParallel([]string{"T1", "F1"}, Request{Scale: Quick, Platform: "gige-8n"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s on gige-8n failed: %v", r.Experiment.ID, r.Err)
+		}
+		if r.Req.Platform != "gige-8n" {
+			t.Errorf("%s result lost the platform: %+v", r.Experiment.ID, r.Req)
+		}
+	}
+}
+
 func TestRunParallelWorkerClamp(t *testing.T) {
 	// Degenerate worker counts must still run everything.
 	for _, workers := range []int{0, -3, 100} {
-		results, err := RunParallel([]string{"T1"}, Quick, workers)
+		results, err := RunParallel([]string{"T1"}, Request{Scale: Quick}, workers)
 		if err != nil || len(results) != 1 || results[0].Err != nil {
 			t.Errorf("workers=%d: results=%v err=%v", workers, results, err)
 		}
@@ -97,7 +162,7 @@ func TestRunAllKeepsGoing(t *testing.T) {
 	// RunAll shares the keep-going semantics of the pool runner: it
 	// must emit every experiment's header even when one fails.
 	var b bytes.Buffer
-	err := RunAll(&b, Quick)
+	err := RunAll(&b, Request{Scale: Quick})
 	if err != nil {
 		t.Fatalf("RunAll at quick scale failed: %v", err)
 	}
@@ -108,15 +173,35 @@ func TestRunAllKeepsGoing(t *testing.T) {
 	}
 }
 
+func TestRunAllExplicitPlatformSkipsIncompatible(t *testing.T) {
+	// An all-registry sweep on one preset covers the compatible
+	// experiments and silently skips the rest (host-only T2, the
+	// NUMA-needing M5/M6 on a non-NUMA preset, ...).
+	var b bytes.Buffer
+	if err := RunAll(&b, Request{Scale: Quick, Platform: "ib-8n"}); err != nil {
+		t.Fatalf("RunAll on ib-8n failed: %v", err)
+	}
+	out := b.String()
+	for _, id := range []string{"T1", "F1"} {
+		if !strings.Contains(out, "### "+id+" ") {
+			t.Errorf("RunAll on ib-8n missing compatible experiment %s", id)
+		}
+	}
+	for _, id := range []string{"T2", "M5", "M6"} {
+		if strings.Contains(out, "### "+id+" ") {
+			t.Errorf("RunAll on ib-8n ran incompatible experiment %s", id)
+		}
+	}
+}
+
 func TestRunParallelWith(t *testing.T) {
 	// The custom executor must be the one the pool drives.
 	var calls atomic.Int32
-	stub := func(e Experiment, s Scale) Result {
+	stub := func(e Experiment, r Request) Result {
 		calls.Add(1)
-		r := Run(e, s)
-		return r
+		return Run(e, r)
 	}
-	err := RunParallelWith([]string{"T1", "M3"}, Quick, 2, stub, func(Result) {})
+	err := RunParallelWith([]string{"T1", "M3"}, Request{Scale: Quick}, 2, stub, func(Result) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +215,7 @@ func TestRunParallelFuncCompletionStream(t *testing.T) {
 	var mu sync.Mutex
 	seen := map[string]bool{}
 	ids := []string{"T1", "T4", "M3"}
-	err := RunParallelFunc(ids, Quick, 2, func(r Result) {
+	err := RunParallelFunc(ids, Request{Scale: Quick}, 2, func(r Result) {
 		calls.Add(1)
 		mu.Lock()
 		seen[r.Experiment.ID] = true

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden files from the current output")
+
+// TestPlatformSweep runs every registered experiment on every preset
+// its capability declaration accepts, at Quick scale — the presets ×
+// experiments matrix the registry refactor unlocked. Each cell must
+// succeed, produce output, and (for platform-consuming experiments)
+// mention the preset it ran on. Cells run in parallel; the whole sweep
+// is a few registry smokes' worth of work, not one per preset.
+func TestPlatformSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("platform sweep skipped in -short mode")
+	}
+	// Experiments whose output never echoes the platform name: F4
+	// renames its model ("-narrow"), F12's series are protocol modes.
+	nameless := map[string]bool{"F4": true, "F12": true}
+	for _, e := range All() {
+		for _, platform := range e.Platforms() {
+			e, platform := e, platform
+			t.Run(e.ID+"/"+platform, func(t *testing.T) {
+				t.Parallel()
+				var b bytes.Buffer
+				if err := e.Run(&b, Request{Scale: Quick, Platform: platform}); err != nil {
+					t.Fatalf("%s on %s: %v", e.ID, platform, err)
+				}
+				if b.Len() == 0 {
+					t.Fatalf("%s on %s produced no output", e.ID, platform)
+				}
+				if !nameless[e.ID] && !strings.Contains(b.String(), platform) {
+					t.Errorf("%s on %s: output never names the platform:\n%s", e.ID, platform, b.String())
+				}
+			})
+		}
+	}
+}

@@ -3,9 +3,10 @@
 // cache, shared by the charhpcd daemon and charhpc CLI runs.
 //
 // A Store is a flat directory of entry files, one per
-// (experiment id, scale, content type), each carrying the rendered
-// body, its strong ETag, the run's wall time, and the registry
-// fingerprint of the binary that wrote it. Correctness properties:
+// (experiment id, scale, platform, content type), each carrying the
+// rendered body, its strong ETag, the run's wall time, and the
+// registry fingerprint of the binary that wrote it. Correctness
+// properties:
 //
 //   - Crash safety: entries are written to a temp file, fsynced, and
 //     renamed into place, so readers only ever see whole entries.
@@ -17,11 +18,11 @@
 //     whose embedded fingerprint differs — stale results from an older
 //     binary or registry shape can never be served.
 //   - Bounded size: with a positive maxBytes budget, Put evicts the
-//     least-recently-used (id, scale) groups (Get touches the file's
-//     mtime; a group is as recent as its newest member) until the
-//     directory fits. Whole groups, because callers read one result's
-//     representations all-or-nothing — a partially evicted set could
-//     never serve while still consuming budget.
+//     least-recently-used (id, scale, platform) groups (Get touches
+//     the file's mtime; a group is as recent as its newest member)
+//     until the directory fits. Whole groups, because callers read one
+//     result's representations all-or-nothing — a partially evicted
+//     set could never serve while still consuming budget.
 //
 // Multiple processes may share one directory: atomic renames make
 // concurrent writers last-one-wins per key, and validation makes
@@ -46,10 +47,13 @@ const (
 )
 
 // Key identifies one persisted representation: which experiment, at
-// which scale, rendered as which media type (e.g. "text/plain").
+// which scale, on which platform preset ("" is the experiment's
+// default platform set), rendered as which media type (e.g.
+// "text/plain").
 type Key struct {
 	ID          string
 	Scale       string
+	Platform    string
 	ContentType string
 }
 
@@ -74,6 +78,7 @@ type fileEntry struct {
 	Fingerprint string `json:"fingerprint"`
 	ID          string `json:"id"`
 	Scale       string `json:"scale"`
+	Platform    string `json:"platform,omitempty"`
 	ContentType string `json:"content_type"`
 	ETag        string `json:"etag"`
 	RunID       string `json:"run_id,omitempty"`
@@ -153,8 +158,8 @@ func (st *Store) Get(k Key) (Entry, bool) {
 		// of a retired generation are purged by the next Open.
 		return Entry{}, false
 	}
-	if f.ID != k.ID || f.Scale != k.Scale || f.ContentType != k.ContentType ||
-		f.SHA256 != bodySum(f.Body) {
+	if f.ID != k.ID || f.Scale != k.Scale || f.Platform != k.Platform ||
+		f.ContentType != k.ContentType || f.SHA256 != bodySum(f.Body) {
 		// Corrupt or misnamed: valid for nobody, so deleting heals
 		// the slot for every sharer.
 		os.Remove(path)
@@ -174,6 +179,7 @@ func (st *Store) Put(k Key, e Entry) error {
 		Fingerprint: st.fp,
 		ID:          k.ID,
 		Scale:       k.Scale,
+		Platform:    k.Platform,
 		ContentType: k.ContentType,
 		ETag:        e.ETag,
 		RunID:       e.RunID,
@@ -326,8 +332,8 @@ func (st *Store) evictExcept(keep string) {
 }
 
 // groupOf maps an entry filename to its eviction group: everything up
-// to the last '@' — i.e. the escaped (id, scale) prefix, shared by
-// all of one result's representations.
+// to the last '@' — i.e. the escaped (id, scale, platform) prefix,
+// shared by all of one result's representations.
 func groupOf(name string) string {
 	if i := strings.LastIndexByte(name, '@'); i >= 0 {
 		return name[:i]
@@ -346,11 +352,13 @@ func bodySum(b []byte) string {
 	return fmt.Sprintf("%x", sha256.Sum256(b))
 }
 
-// entryName maps a key to its filename: the three escaped components
+// entryName maps a key to its filename: the four escaped components
 // joined with '@' (never produced by the escape, so the mapping is
-// injective) plus the entry extension.
+// injective) plus the entry extension. A default-platform key keeps
+// an empty platform component — e.g. "T1@quick@@text%2Fplain.entry" —
+// so default and platform-qualified entries can never collide.
 func entryName(k Key) string {
-	return escape(k.ID) + "@" + escape(k.Scale) + "@" + escape(k.ContentType) + entryExt
+	return escape(k.ID) + "@" + escape(k.Scale) + "@" + escape(k.Platform) + "@" + escape(k.ContentType) + entryExt
 }
 
 // escape keeps [A-Za-z0-9._-] and percent-encodes everything else, so

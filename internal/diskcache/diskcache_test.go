@@ -375,3 +375,32 @@ func TestOpenRejectsEmptyFingerprint(t *testing.T) {
 		t.Error("Open accepted an empty fingerprint")
 	}
 }
+
+// TestPlatformQualifiedKeys pins the platform axis of the key space:
+// a default-platform entry and a platform-qualified one for the same
+// (id, scale, content type) live in distinct slots, each validates
+// only under its own key, and a renamed file cannot cross the axis.
+func TestPlatformQualifiedKeys(t *testing.T) {
+	st := mustOpen(t, t.TempDir(), "fp1", 0)
+	def := Key{ID: "T1", Scale: "quick", ContentType: "text/plain"}
+	plat := Key{ID: "T1", Scale: "quick", Platform: "gige-8n", ContentType: "text/plain"}
+	if entryName(def) == entryName(plat) {
+		t.Fatalf("default and platform-qualified keys share a filename %q", entryName(def))
+	}
+	if err := st.Put(def, testEntry("default set")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(plat, testEntry("gige only")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := st.Get(def); !ok || string(got.Body) != "default set" {
+		t.Errorf("default key: ok=%v body=%q", ok, got.Body)
+	}
+	if got, ok := st.Get(plat); !ok || string(got.Body) != "gige only" {
+		t.Errorf("platform key: ok=%v body=%q", ok, got.Body)
+	}
+	// Same group prefix rules: the two keys must evict independently.
+	if groupOf(entryName(def)) == groupOf(entryName(plat)) {
+		t.Error("default and platform-qualified entries share an eviction group")
+	}
+}

@@ -8,10 +8,11 @@ import (
 	"repro/internal/core"
 )
 
-// key identifies one cached result: which experiment at which scale.
+// key identifies one cached result: which experiment at which scale
+// on which platform preset ("" = the experiment's default set).
 type key struct {
-	id    string
-	scale core.Scale
+	id  string
+	req core.Request
 }
 
 // rep is one negotiated representation of a result: the rendered body
@@ -33,8 +34,8 @@ type entry struct {
 	err     error
 }
 
-// cache is the per-(id, scale) result store with single-flight
-// fills: a cold key requested by N goroutines triggers exactly one
+// cache is the per-(id, scale, platform) result store with
+// single-flight fills: a cold key requested by N goroutines triggers exactly one
 // execution; the other N-1 wait on the winner's entry. Failed fills
 // are not retained, so a later request retries.
 type cache struct {

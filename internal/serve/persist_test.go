@@ -88,12 +88,12 @@ func TestWarmLoadsFromDiskWithoutRunning(t *testing.T) {
 	run := stubRun(&runs, 0)
 
 	srv1 := New(Config{RunFunc: run, Store: openStore(t, dir, "fpA")})
-	if n := srv1.Warm(context.Background(), []string{"T1", "T4"}, 2); n != 2 {
+	if n := srv1.Warm(context.Background(), []string{"T1", "T4"}, nil, 2); n != 2 {
 		t.Fatalf("first warm ran %d, want 2", n)
 	}
 
 	srv2 := New(Config{RunFunc: run, Store: openStore(t, dir, "fpA")})
-	if n := srv2.Warm(context.Background(), []string{"T1", "T4"}, 2); n != 0 {
+	if n := srv2.Warm(context.Background(), []string{"T1", "T4"}, nil, 2); n != 0 {
 		t.Errorf("second warm ran %d, want 0 (all from disk)", n)
 	}
 	if st := srv2.Stats(); st.Runs != 0 || st.DiskLoads != 2 {
@@ -156,14 +156,14 @@ func TestPartialDiskEntrySetReadsAsMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Re-persist only two of three by round-tripping Get/Put.
-	res := run(mustGetExp(t, "T1"), core.Quick)
+	res := run(mustGetExp(t, "T1"), core.Request{Scale: core.Quick})
 	reps, elapsed, err := renderResult(res)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, ct := range []string{ctText, ctJSON} {
 		rp := reps[ct]
-		if err := store.Put(storeKey("T1", core.Quick, ct),
+		if err := store.Put(storeKey("T1", core.Request{Scale: core.Quick}, ct),
 			diskcache.Entry{ETag: rp.etag, Elapsed: elapsed, Body: rp.body}); err != nil {
 			t.Fatal(err)
 		}
@@ -190,7 +190,7 @@ func TestMixedGenerationDiskSetReadsAsMiss(t *testing.T) {
 
 	// Two "executions" with different output bytes.
 	mkReps := func(tag string) map[string]rep {
-		res := stubRun(&runs, 0)(mustGetExp(t, "T1"), core.Quick)
+		res := stubRun(&runs, 0)(mustGetExp(t, "T1"), core.Request{Scale: core.Quick})
 		res.Rec.Write([]byte(tag + "\n")) // perturb the rendered bytes
 		reps, _, err := renderResult(res)
 		if err != nil {
@@ -203,7 +203,7 @@ func TestMixedGenerationDiskSetReadsAsMiss(t *testing.T) {
 	put := func(reps map[string]rep, ct string) {
 		t.Helper()
 		rp := reps[ct]
-		if err := store.Put(storeKey("T1", core.Quick, ct),
+		if err := store.Put(storeKey("T1", core.Request{Scale: core.Quick}, ct),
 			diskcache.Entry{ETag: rp.etag, RunID: runIDOf(reps), Elapsed: time.Millisecond, Body: rp.body}); err != nil {
 			t.Fatal(err)
 		}
@@ -226,16 +226,16 @@ func TestMixedGenerationDiskSetReadsAsMiss(t *testing.T) {
 
 	// LoadResult applies the same guard on its text+json pair.
 	store2 := openStore(t, t.TempDir(), "fpA")
-	res := stubRun(&runs, 0)(mustGetExp(t, "T1"), core.Quick)
+	res := stubRun(&runs, 0)(mustGetExp(t, "T1"), core.Request{Scale: core.Quick})
 	if err := StoreResult(store2, res); err != nil {
 		t.Fatal(err)
 	}
 	rp := repsB[ctJSON]
-	if err := store2.Put(storeKey("T1", core.Quick, ctJSON),
+	if err := store2.Put(storeKey("T1", core.Request{Scale: core.Quick}, ctJSON),
 		diskcache.Entry{ETag: rp.etag, RunID: runIDOf(repsB), Elapsed: time.Millisecond, Body: rp.body}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := LoadResult(store2, mustGetExp(t, "T1"), core.Quick); ok {
+	if _, ok := LoadResult(store2, mustGetExp(t, "T1"), core.Request{Scale: core.Quick}); ok {
 		t.Error("LoadResult accepted a mixed-generation text+json pair")
 	}
 }
@@ -254,7 +254,7 @@ func TestWarmCanceledPromptly(t *testing.T) {
 	srv := New(Config{RunFunc: stubRun(&runs, 0)})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if n := srv.Warm(ctx, []string{"T1", "T4"}, 1); n != 0 {
+	if n := srv.Warm(ctx, []string{"T1", "T4"}, nil, 1); n != 0 {
 		t.Errorf("canceled warm ran %d, want 0", n)
 	}
 	if runs.Load() != 0 {
@@ -293,12 +293,12 @@ func TestHealthzCounters(t *testing.T) {
 func TestStoreLoadResultRoundTrip(t *testing.T) {
 	store := openStore(t, t.TempDir(), "fpA")
 	var runs atomic.Int32
-	res := stubRun(&runs, 2*time.Millisecond)(mustGetExp(t, "T1"), core.Quick)
+	res := stubRun(&runs, 2*time.Millisecond)(mustGetExp(t, "T1"), core.Request{Scale: core.Quick})
 	if err := StoreResult(store, res); err != nil {
 		t.Fatalf("StoreResult: %v", err)
 	}
 
-	got, ok := LoadResult(store, mustGetExp(t, "T1"), core.Quick)
+	got, ok := LoadResult(store, mustGetExp(t, "T1"), core.Request{Scale: core.Quick})
 	if !ok {
 		t.Fatal("LoadResult missed a stored result")
 	}
@@ -323,7 +323,7 @@ func TestStoreLoadResultRoundTrip(t *testing.T) {
 	}
 
 	// Unstored results miss.
-	if _, ok := LoadResult(store, mustGetExp(t, "T4"), core.Quick); ok {
+	if _, ok := LoadResult(store, mustGetExp(t, "T4"), core.Request{Scale: core.Quick}); ok {
 		t.Error("LoadResult hit an unstored experiment")
 	}
 }

@@ -4,14 +4,21 @@
 // Endpoints:
 //
 //	GET /healthz                          liveness probe
-//	GET /experiments                      registry listing
-//	GET /experiments/{id}?scale=quick|full one experiment's results
+//	GET /experiments                      registry listing (incl. valid platforms)
+//	GET /experiments/{id}?scale=quick|full&platform=NAME
+//	                                      one experiment's results
+//
+// The platform query parameter selects a preset from
+// internal/cluster's registry; omitted, the experiment runs on its
+// canonical platform set. Unknown or incompatible platform names are
+// rejected with 400 before anything runs — the listing advertises the
+// valid presets per experiment.
 //
 // Results are rendered in the content type negotiated via the Accept
 // header — text/plain (the report table format), text/csv, or
 // application/json (structured rows) — all three from a single cached
-// execution per (id, scale). Responses carry strong ETags and honor
-// If-None-Match with 304; a cold (id, scale) requested by N clients
+// execution per (id, scale, platform). Responses carry strong ETags
+// and honor If-None-Match with 304; a cold key requested by N clients
 // concurrently executes the experiment exactly once (single-flight).
 //
 // With a diskcache.Store configured, the in-memory cache is a
@@ -54,9 +61,9 @@ type Config struct {
 	// server to Quick; set Full to also allow paper-scale runs.
 	ScaleLimit core.Scale
 
-	// RunFunc executes one experiment; nil means core.Run. Tests
-	// substitute it to count or stub executions.
-	RunFunc func(core.Experiment, core.Scale) core.Result
+	// RunFunc executes one experiment request; nil means core.Run.
+	// Tests substitute it to count or stub executions.
+	RunFunc func(core.Experiment, core.Request) core.Result
 
 	// Store, when non-nil, persists filled cache entries to disk and
 	// makes the in-memory cache a write-through front: a cold key
@@ -124,11 +131,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		st.Runs, st.MemHits, st.DiskLoads, st.DiskErrs)
 }
 
-// listEntry is one row of the JSON registry listing.
+// listEntry is one row of the JSON registry listing. Platforms names
+// the presets the experiment accepts via ?platform=; empty means the
+// experiment has no platform axis (host-only).
 type listEntry struct {
-	ID    string `json:"id"`
-	Kind  string `json:"kind"`
-	Title string `json:"title"`
+	ID        string   `json:"id"`
+	Kind      string   `json:"kind"`
+	Title     string   `json:"title"`
+	Platforms []string `json:"platforms,omitempty"`
 }
 
 // buildListReps renders the registry listing in all three content
@@ -139,14 +149,18 @@ func buildListReps() map[string]rep {
 
 	entries := make([]listEntry, len(all))
 	for i, e := range all {
-		entries[i] = listEntry{ID: e.ID, Kind: e.Kind, Title: e.Title}
+		entries[i] = listEntry{ID: e.ID, Kind: e.Kind, Title: e.Title, Platforms: e.Platforms()}
 	}
 	jsonb, _ := json.Marshal(entries)
 	jsonb = append(jsonb, '\n')
 
-	t := report.NewTable("experiments", "id", "kind", "title")
+	t := report.NewTable("experiments", "id", "kind", "title", "platforms")
 	for _, e := range all {
-		t.AddRow(e.ID, e.Kind, e.Title)
+		platforms := strings.Join(e.Platforms(), ",")
+		if platforms == "" {
+			platforms = "-"
+		}
+		t.AddRow(e.ID, e.Kind, e.Title, platforms)
 	}
 	rec := report.NewRecorder()
 	t.Fprint(rec)
@@ -184,17 +198,22 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusNotFound)
 		return
 	}
-	scale := core.Quick
+	req := core.Request{Scale: core.Quick}
 	switch v := r.URL.Query().Get("scale"); v {
 	case "", "quick":
 	case "full":
-		scale = core.Full
+		req.Scale = core.Full
 	default:
 		http.Error(w, fmt.Sprintf("unknown scale %q (want quick or full)", v), http.StatusBadRequest)
 		return
 	}
-	if scale > s.cfg.ScaleLimit {
-		http.Error(w, fmt.Sprintf("scale %s disabled on this server (limit %s)", scale, s.cfg.ScaleLimit), http.StatusForbidden)
+	if req.Scale > s.cfg.ScaleLimit {
+		http.Error(w, fmt.Sprintf("scale %s disabled on this server (limit %s)", req.Scale, s.cfg.ScaleLimit), http.StatusForbidden)
+		return
+	}
+	req.Platform = r.URL.Query().Get("platform")
+	if err := e.CheckPlatform(req.Platform); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	ct := negotiate(r.Header.Get("Accept"))
@@ -203,8 +222,8 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ent, hit, err := s.cache.get(key{id, scale}, func() (map[string]rep, time.Duration, error) {
-		return s.fill(e, scale)
+	ent, hit, err := s.cache.get(key{id, req}, func() (map[string]rep, time.Duration, error) {
+		return s.fill(e, req)
 	})
 	if err != nil {
 		http.Error(w, fmt.Sprintf("experiment %s failed: %v", id, err), http.StatusInternalServerError)
@@ -229,11 +248,14 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // resultJSON is the JSON envelope for one experiment's results.
+// Platform is present only for explicit-platform requests, so default
+// envelopes are byte-identical to the pre-platform-axis format.
 type resultJSON struct {
 	ID             string           `json:"id"`
 	Kind           string           `json:"kind"`
 	Title          string           `json:"title"`
 	Scale          string           `json:"scale"`
+	Platform       string           `json:"platform,omitempty"`
 	ElapsedSeconds float64          `json:"elapsed_seconds"`
 	Sections       []report.Section `json:"sections"`
 }
@@ -264,7 +286,8 @@ func renderResult(res core.Result) (map[string]rep, time.Duration, error) {
 		ID:             res.Experiment.ID,
 		Kind:           res.Experiment.Kind,
 		Title:          res.Experiment.Title,
-		Scale:          res.Scale.String(),
+		Scale:          res.Req.Scale.String(),
+		Platform:       res.Req.Platform,
 		ElapsedSeconds: res.Elapsed.Seconds(),
 		Sections:       sections,
 	})
@@ -281,38 +304,42 @@ func renderResult(res core.Result) (map[string]rep, time.Duration, error) {
 	return reps, res.Elapsed, nil
 }
 
-// fill produces the representations for one cold (id, scale): load
-// from the disk store when a valid entry generation exists there,
-// otherwise execute the experiment and write the rendering through to
-// the store. This is the only path that fills the in-memory cache, so
-// the memory layer is strictly a write-through front for the store.
-func (s *Server) fill(e core.Experiment, scale core.Scale) (map[string]rep, time.Duration, error) {
-	if reps, elapsed, ok := s.loadStore(e.ID, scale); ok {
+// fill produces the representations for one cold (id, scale,
+// platform): load from the disk store when a valid entry generation
+// exists there, otherwise execute the experiment and write the
+// rendering through to the store. This is the only path that fills the
+// in-memory cache, so the memory layer is strictly a write-through
+// front for the store.
+func (s *Server) fill(e core.Experiment, req core.Request) (map[string]rep, time.Duration, error) {
+	if reps, elapsed, ok := s.loadStore(e.ID, req); ok {
 		s.diskLoads.Add(1)
 		return reps, elapsed, nil
 	}
-	reps, elapsed, err := renderResult(s.safeRun(e, scale))
+	reps, elapsed, err := renderResult(s.safeRun(e, req))
 	if err == nil {
-		s.saveStore(e.ID, scale, reps, elapsed)
+		s.saveStore(e.ID, req, reps, elapsed)
 	}
 	return reps, elapsed, err
 }
 
 // Warm fills the quick-scale cache for the given experiment IDs (nil
-// means every registered experiment): entries with a valid disk-store
-// generation are loaded without running; the rest execute on a
-// core.RunParallel worker pool driven through the server's RunFunc.
-// Cold keys are claimed up front so requests arriving mid-warm wait on
-// the in-flight entry instead of re-running — the single-flight
-// guarantee holds across warm-up and traffic. Already cached or
-// in-flight IDs are skipped.
+// means every registered experiment) across the given platform axis
+// (nil means the default platform set only; "" in the list is the
+// default set). Incompatible (experiment, platform) pairs are skipped,
+// so warming the whole registry across explicit presets never errors.
+// Entries with a valid disk-store generation are loaded without
+// running; the rest execute on a core.RunParallel worker pool driven
+// through the server's RunFunc. Cold keys are claimed up front so
+// requests arriving mid-warm wait on the in-flight entry instead of
+// re-running — the single-flight guarantee holds across warm-up and
+// traffic. Already cached or in-flight keys are skipped.
 //
 // Canceling ctx stops the warm-up promptly: jobs not yet started are
 // skipped (their claims are released so later requests retry), and
 // only in-flight experiment runs are waited out. Returns the number of
 // experiments it actually executed — disk loads and canceled jobs
 // don't count.
-func (s *Server) Warm(ctx context.Context, ids []string, workers int) int {
+func (s *Server) Warm(ctx context.Context, ids []string, platforms []string, workers int) int {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -321,51 +348,61 @@ func (s *Server) Warm(ctx context.Context, ids []string, workers int) int {
 			ids = append(ids, e.ID)
 		}
 	}
-	claimed := map[string]*entry{}
-	var cold []string
-	for _, id := range ids {
-		if _, ok := core.Get(id); !ok {
+	if platforms == nil {
+		platforms = []string{""}
+	}
+	total := 0
+	for _, platform := range platforms {
+		req := core.Request{Scale: core.Quick, Platform: platform}
+		claimed := map[string]*entry{}
+		var cold []string
+		for _, id := range ids {
+			e, ok := core.Get(id)
+			if !ok || e.CheckPlatform(platform) != nil {
+				continue
+			}
+			ent, ok := s.cache.claim(key{id, req})
+			if !ok {
+				continue
+			}
+			if reps, elapsed, lok := s.loadStore(id, req); lok {
+				s.diskLoads.Add(1)
+				s.cache.finish(key{id, req}, ent, reps, elapsed, nil)
+				continue
+			}
+			claimed[id] = ent
+			cold = append(cold, id)
+		}
+		if len(cold) == 0 {
 			continue
 		}
-		e, ok := s.cache.claim(key{id, core.Quick})
-		if !ok {
-			continue
+		// Unknown IDs and incompatible pairs were filtered above, so
+		// the pool cannot fail before running; each claimed entry is
+		// finished as its run completes. Driving the pool through
+		// safeRun keeps warm-up behind the same wrapper (limits,
+		// instrumentation, test stubs) as traffic, with the same panic
+		// containment — and guarantees r.Experiment.ID is the job's
+		// own, so every claimed entry is found and finished.
+		var ran atomic.Int64
+		run := func(e core.Experiment, rq core.Request) core.Result {
+			if err := ctx.Err(); err != nil {
+				return core.Result{Experiment: e, Req: rq,
+					Err: fmt.Errorf("warm-up canceled: %w", err)}
+			}
+			ran.Add(1)
+			return s.safeRun(e, rq)
 		}
-		if reps, elapsed, lok := s.loadStore(id, core.Quick); lok {
-			s.diskLoads.Add(1)
-			s.cache.finish(key{id, core.Quick}, e, reps, elapsed, nil)
-			continue
-		}
-		claimed[id] = e
-		cold = append(cold, id)
+		core.RunParallelWith(cold, req, workers, run, func(r core.Result) {
+			k := key{r.Experiment.ID, req}
+			reps, elapsed, err := renderResult(r)
+			if err == nil {
+				s.saveStore(r.Experiment.ID, req, reps, elapsed)
+			}
+			s.cache.finish(k, claimed[r.Experiment.ID], reps, elapsed, err)
+		})
+		total += int(ran.Load())
 	}
-	if len(cold) == 0 {
-		return 0
-	}
-	// Unknown IDs were filtered above, so the pool cannot fail before
-	// running; each claimed entry is finished as its run completes.
-	// Driving the pool through safeRun keeps warm-up behind the same
-	// wrapper (limits, instrumentation, test stubs) as traffic, with
-	// the same panic containment — and guarantees r.Experiment.ID is
-	// the job's own, so every claimed entry is found and finished.
-	var ran atomic.Int64
-	run := func(e core.Experiment, sc core.Scale) core.Result {
-		if err := ctx.Err(); err != nil {
-			return core.Result{Experiment: e, Scale: sc,
-				Err: fmt.Errorf("warm-up canceled: %w", err)}
-		}
-		ran.Add(1)
-		return s.safeRun(e, sc)
-	}
-	core.RunParallelWith(cold, core.Quick, workers, run, func(r core.Result) {
-		k := key{r.Experiment.ID, core.Quick}
-		reps, elapsed, err := renderResult(r)
-		if err == nil {
-			s.saveStore(r.Experiment.ID, core.Quick, reps, elapsed)
-		}
-		s.cache.finish(k, claimed[r.Experiment.ID], reps, elapsed, err)
-	})
-	return int(ran.Load())
+	return total
 }
 
 // safeRun drives cfg.RunFunc with the safety net both execution paths
@@ -373,22 +410,22 @@ func (s *Server) Warm(ctx context.Context, ids []string, workers int) int {
 // worker goroutine (and with it the process, on the Warm path), and
 // the job's own identity is stamped on the result so cache keys and
 // JSON envelopes never depend on what a wrapper echoed back.
-func (s *Server) safeRun(e core.Experiment, sc core.Scale) (res core.Result) {
+func (s *Server) safeRun(e core.Experiment, req core.Request) (res core.Result) {
 	s.runs.Add(1)
 	defer func() {
 		if r := recover(); r != nil {
 			res = core.Result{Err: fmt.Errorf("experiment run panicked: %v", r)}
 		}
-		res.Experiment, res.Scale = e, sc
+		res.Experiment, res.Req = e, req
 	}()
-	return s.cfg.RunFunc(e, sc)
+	return s.cfg.RunFunc(e, req)
 }
 
 // storeKey maps one in-memory cache slot + offered content type to
 // the disk store's key space. Keys carry the bare media type — the
 // charset parameter is a response detail, not part of the identity.
-func storeKey(id string, sc core.Scale, ct string) diskcache.Key {
-	return diskcache.Key{ID: id, Scale: sc.String(), ContentType: mediaType(ct)}
+func storeKey(id string, req core.Request, ct string) diskcache.Key {
+	return diskcache.Key{ID: id, Scale: req.Scale.String(), Platform: req.Platform, ContentType: mediaType(ct)}
 }
 
 // mediaType strips any parameters (";charset=...") from a content type.
@@ -412,12 +449,12 @@ func runIDOf(reps map[string]rep) string {
 	return fmt.Sprintf("%x", h.Sum(nil)[:8])
 }
 
-// loadStore fetches all offered representations of (id, scale) from
-// the disk store. It is all-or-nothing: negotiation needs every
-// content type from the same execution, so a partial set — or one
-// whose entries carry different run stamps because two writers raced
-// — reads as a miss and the caller re-runs.
-func (s *Server) loadStore(id string, sc core.Scale) (map[string]rep, time.Duration, bool) {
+// loadStore fetches all offered representations of (id, scale,
+// platform) from the disk store. It is all-or-nothing: negotiation
+// needs every content type from the same execution, so a partial set —
+// or one whose entries carry different run stamps because two writers
+// raced — reads as a miss and the caller re-runs.
+func (s *Server) loadStore(id string, req core.Request) (map[string]rep, time.Duration, bool) {
 	if s.cfg.Store == nil {
 		return nil, 0, false
 	}
@@ -425,7 +462,7 @@ func (s *Server) loadStore(id string, sc core.Scale) (map[string]rep, time.Durat
 	var elapsed time.Duration
 	var runID string
 	for i, ct := range offered {
-		ent, ok := s.cfg.Store.Get(storeKey(id, sc, ct))
+		ent, ok := s.cfg.Store.Get(storeKey(id, req, ct))
 		if !ok {
 			return nil, 0, false
 		}
@@ -445,12 +482,12 @@ func (s *Server) loadStore(id string, sc core.Scale) (map[string]rep, time.Durat
 // paths (the daemon's write-through and the CLI's StoreResult) go
 // through here, so the entry layout can never diverge between them.
 // The first failed write is returned; the rest are still attempted.
-func putReps(st *diskcache.Store, id string, sc core.Scale, reps map[string]rep, elapsed time.Duration) error {
+func putReps(st *diskcache.Store, id string, req core.Request, reps map[string]rep, elapsed time.Duration) error {
 	runID := runIDOf(reps)
 	var firstErr error
 	for _, ct := range offered {
 		rp := reps[ct]
-		err := st.Put(storeKey(id, sc, ct),
+		err := st.Put(storeKey(id, req, ct),
 			diskcache.Entry{ETag: rp.etag, RunID: runID, Elapsed: elapsed, Body: rp.body})
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -462,11 +499,11 @@ func putReps(st *diskcache.Store, id string, sc core.Scale, reps map[string]rep,
 // saveStore writes a filled entry's representations through to the
 // disk store. Persistence is best-effort: a failed write leaves the
 // in-memory entry serving and bumps the disk_errs counter.
-func (s *Server) saveStore(id string, sc core.Scale, reps map[string]rep, elapsed time.Duration) {
+func (s *Server) saveStore(id string, req core.Request, reps map[string]rep, elapsed time.Duration) {
 	if s.cfg.Store == nil {
 		return
 	}
-	if err := putReps(s.cfg.Store, id, sc, reps, elapsed); err != nil {
+	if err := putReps(s.cfg.Store, id, req, reps, elapsed); err != nil {
 		s.diskErrs.Add(1)
 	}
 }
@@ -480,21 +517,21 @@ func StoreResult(st *diskcache.Store, res core.Result) error {
 	if err != nil {
 		return err
 	}
-	return putReps(st, res.Experiment.ID, res.Scale, reps, elapsed)
+	return putReps(st, res.Experiment.ID, res.Req, reps, elapsed)
 }
 
-// LoadResult reconstructs a cached execution of e at scale sc from
+// LoadResult reconstructs a cached execution of e for request req from
 // the disk store: the text representation replays the byte stream and
 // the JSON envelope's sections rebuild the structured document, so
 // the returned Result behaves like a live run (report.Rebuild is the
 // round-trip's other half). Elapsed is the original run's wall time.
 // Missing or invalid entries return ok=false.
-func LoadResult(st *diskcache.Store, e core.Experiment, sc core.Scale) (core.Result, bool) {
-	text, ok := st.Get(storeKey(e.ID, sc, ctText))
+func LoadResult(st *diskcache.Store, e core.Experiment, req core.Request) (core.Result, bool) {
+	text, ok := st.Get(storeKey(e.ID, req, ctText))
 	if !ok {
 		return core.Result{}, false
 	}
-	jent, ok := st.Get(storeKey(e.ID, sc, ctJSON))
+	jent, ok := st.Get(storeKey(e.ID, req, ctJSON))
 	if !ok || jent.RunID != text.RunID {
 		return core.Result{}, false
 	}
@@ -504,7 +541,7 @@ func LoadResult(st *diskcache.Store, e core.Experiment, sc core.Scale) (core.Res
 	}
 	return core.Result{
 		Experiment: e,
-		Scale:      sc,
+		Req:        req,
 		Rec:        report.Rebuild(text.Body, env.Sections),
 		Elapsed:    text.Elapsed,
 	}, true

@@ -237,15 +237,15 @@ func TestScaleLimit403(t *testing.T) {
 
 // stubRun returns a RunFunc that counts executions and sleeps long
 // enough for concurrent requests to pile onto a cold cache entry.
-func stubRun(runs *atomic.Int32, delay time.Duration) func(core.Experiment, core.Scale) core.Result {
-	return func(e core.Experiment, s core.Scale) core.Result {
+func stubRun(runs *atomic.Int32, delay time.Duration) func(core.Experiment, core.Request) core.Result {
+	return func(e core.Experiment, r core.Request) core.Result {
 		runs.Add(1)
 		time.Sleep(delay)
 		rec := report.NewRecorder()
 		tbl := report.NewTable("stub", "k", "v")
 		tbl.AddRow("answer", 42)
 		tbl.Fprint(rec)
-		return core.Result{Experiment: e, Scale: s, Rec: rec, Elapsed: delay}
+		return core.Result{Experiment: e, Req: r, Rec: rec, Elapsed: delay}
 	}
 }
 
@@ -290,12 +290,12 @@ func TestFailedRunNotCached(t *testing.T) {
 	var runs atomic.Int32
 	fail := true
 	var mu sync.Mutex
-	cfg := Config{RunFunc: func(e core.Experiment, s core.Scale) core.Result {
+	cfg := Config{RunFunc: func(e core.Experiment, req core.Request) core.Result {
 		runs.Add(1)
 		mu.Lock()
 		f := fail
 		mu.Unlock()
-		r := core.Run(e, s)
+		r := core.Run(e, req)
 		if f {
 			r.Err = io.ErrUnexpectedEOF
 		}
@@ -323,11 +323,11 @@ func TestPanickingRunDoesNotWedgeCache(t *testing.T) {
 	// A fill that panics must complete the cache entry (as an error)
 	// rather than leaving every future request blocked on it.
 	var runs atomic.Int32
-	cfg := Config{RunFunc: func(e core.Experiment, s core.Scale) core.Result {
+	cfg := Config{RunFunc: func(e core.Experiment, req core.Request) core.Result {
 		if runs.Add(1) == 1 {
 			panic("experiment blew up")
 		}
-		return core.Run(e, s)
+		return core.Run(e, req)
 	}}
 	ts := newTestServer(t, cfg)
 
@@ -347,7 +347,7 @@ func TestWarmSurvivesPanicAndSparseStubs(t *testing.T) {
 	// stub RunFunc that doesn't echo back Result.Experiment must
 	// still land in the right cache slot.
 	var runs atomic.Int32
-	srv := New(Config{RunFunc: func(e core.Experiment, s core.Scale) core.Result {
+	srv := New(Config{RunFunc: func(e core.Experiment, req core.Request) core.Result {
 		if runs.Add(1) == 1 {
 			panic("warm-up blew up")
 		}
@@ -355,10 +355,10 @@ func TestWarmSurvivesPanicAndSparseStubs(t *testing.T) {
 		tbl := report.NewTable("sparse", "k", "v")
 		tbl.AddRow("answer", 42)
 		tbl.Fprint(rec)
-		return core.Result{Rec: rec} // no Experiment/Scale stamped
+		return core.Result{Rec: rec} // no Experiment/Request stamped
 	}})
 	// One worker makes the panicking run deterministic: it is T1's.
-	if n := srv.Warm(context.Background(), []string{"T1", "T4"}, 1); n != 2 {
+	if n := srv.Warm(context.Background(), []string{"T1", "T4"}, nil, 1); n != 2 {
 		t.Errorf("Warm ran %d, want 2", n)
 	}
 	ts := httptest.NewServer(srv)
@@ -387,7 +387,7 @@ func TestWarmSurvivesPanicAndSparseStubs(t *testing.T) {
 
 func TestWarmFillsCache(t *testing.T) {
 	srv := New(Config{})
-	n := srv.Warm(context.Background(), []string{"T1", "T4"}, 2)
+	n := srv.Warm(context.Background(), []string{"T1", "T4"}, nil, 2)
 	if n != 2 {
 		t.Errorf("Warm ran %d, want 2", n)
 	}
@@ -403,7 +403,7 @@ func TestWarmFillsCache(t *testing.T) {
 	}
 
 	// Re-warming the same ids is a no-op.
-	if n := srv.Warm(context.Background(), []string{"T1", "T4"}, 2); n != 0 {
+	if n := srv.Warm(context.Background(), []string{"T1", "T4"}, nil, 2); n != 0 {
 		t.Errorf("re-warm ran %d experiments, want 0", n)
 	}
 }
@@ -414,7 +414,7 @@ func TestWarmUsesCustomRunFunc(t *testing.T) {
 	// wrapper didn't make.
 	var runs atomic.Int32
 	srv := New(Config{RunFunc: stubRun(&runs, 0)})
-	if n := srv.Warm(context.Background(), []string{"T1", "T4"}, 2); n != 2 {
+	if n := srv.Warm(context.Background(), []string{"T1", "T4"}, nil, 2); n != 2 {
 		t.Errorf("Warm ran %d, want 2", n)
 	}
 	if runs.Load() != 2 {
@@ -457,5 +457,132 @@ func TestNegotiate(t *testing.T) {
 		if got := negotiate(c.accept); got != c.want {
 			t.Errorf("negotiate(%q) = %q, want %q", c.accept, got, c.want)
 		}
+	}
+}
+
+func TestPlatformParam(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	// Explicit platform restricts the output to that preset.
+	resp, body := doGet(t, ts.URL+"/experiments/T1?platform=gige-8n", "", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("T1?platform=gige-8n: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "gige-8n") || strings.Contains(body, "ib-8n") {
+		t.Errorf("platform-qualified T1 body wrong: %q", body)
+	}
+	etagPlat := resp.Header.Get("ETag")
+
+	// The default-platform entry is a distinct cache key with a
+	// distinct ETag (it renders the whole canonical set).
+	resp, _ = doGet(t, ts.URL+"/experiments/T1", "", "")
+	if resp.Header.Get("ETag") == etagPlat {
+		t.Error("default and platform-qualified T1 share an ETag")
+	}
+
+	// The JSON envelope names the platform only when explicit.
+	_, jbody := doGet(t, ts.URL+"/experiments/T1?platform=gige-8n", "application/json", "")
+	var doc resultJSON
+	if err := json.Unmarshal([]byte(jbody), &doc); err != nil {
+		t.Fatalf("bad result JSON: %v", err)
+	}
+	if doc.Platform != "gige-8n" {
+		t.Errorf("envelope platform = %q, want gige-8n", doc.Platform)
+	}
+	_, jbody = doGet(t, ts.URL+"/experiments/T1", "application/json", "")
+	var defDoc resultJSON
+	if err := json.Unmarshal([]byte(jbody), &defDoc); err != nil {
+		t.Fatalf("bad result JSON: %v", err)
+	}
+	if defDoc.Platform != "" {
+		t.Errorf("default envelope platform = %q, want empty", defDoc.Platform)
+	}
+	if strings.Contains(jbody, `"platform":`) {
+		t.Error("default envelope carries a platform key (breaks pre-axis byte compatibility)")
+	}
+}
+
+func TestPlatformParam400(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	// Unknown preset.
+	resp, body := doGet(t, ts.URL+"/experiments/T1?platform=cray-1", "", "")
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "unknown platform") {
+		t.Errorf("unknown platform got %d %q, want 400", resp.StatusCode, body)
+	}
+	// Known preset incompatible with the experiment (F1 needs a
+	// multi-node fabric; smp-1n has one node).
+	resp, body = doGet(t, ts.URL+"/experiments/F1?platform=smp-1n", "", "")
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "incompatible") {
+		t.Errorf("incompatible platform got %d %q, want 400", resp.StatusCode, body)
+	}
+	// Host-only experiments reject every explicit platform.
+	resp, _ = doGet(t, ts.URL+"/experiments/T2?platform=ib-8n", "", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("host-only T2 with platform got %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestPlatformKeysAreDistinctCacheSlots(t *testing.T) {
+	var runs atomic.Int32
+	ts := newTestServer(t, Config{RunFunc: stubRun(&runs, 0)})
+	doGet(t, ts.URL+"/experiments/T1", "", "")
+	doGet(t, ts.URL+"/experiments/T1?platform=gige-8n", "", "")
+	doGet(t, ts.URL+"/experiments/T1?platform=ib-8n", "", "")
+	if got := runs.Load(); got != 3 {
+		t.Errorf("three distinct platform keys ran %d times, want 3", got)
+	}
+	// Repeats hit the warm entries.
+	doGet(t, ts.URL+"/experiments/T1?platform=gige-8n", "", "")
+	if got := runs.Load(); got != 3 {
+		t.Errorf("repeat platform request re-ran (runs=%d)", got)
+	}
+}
+
+func TestListAdvertisesPlatforms(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	_, body := doGet(t, ts.URL+"/experiments", "application/json", "")
+	var list []listEntry
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	byID := map[string]listEntry{}
+	for _, e := range list {
+		byID[e.ID] = e
+	}
+	if got := byID["T1"].Platforms; len(got) != 6 {
+		t.Errorf("T1 advertises %v, want all six presets", got)
+	}
+	if got := byID["M5"].Platforms; len(got) != 2 {
+		t.Errorf("M5 advertises %v, want the two NUMA presets", got)
+	}
+	if got := byID["T2"].Platforms; got != nil {
+		t.Errorf("host-only T2 advertises %v, want none", got)
+	}
+	for _, p := range byID["F1"].Platforms {
+		if p == "smp-1n" || p == "fat-1n" {
+			t.Errorf("F1 advertises single-node preset %s", p)
+		}
+	}
+	// The text listing carries the platforms column too.
+	_, tbody := doGet(t, ts.URL+"/experiments", "", "")
+	if !strings.Contains(tbody, "platforms") || !strings.Contains(tbody, "gige-8n") {
+		t.Errorf("text listing missing platform column: %q", tbody[:min(len(tbody), 200)])
+	}
+}
+
+func TestWarmPlatformAxis(t *testing.T) {
+	var runs atomic.Int32
+	srv := New(Config{RunFunc: stubRun(&runs, 0)})
+	// T1 warms on both axes; F1 is incompatible with smp-1n and must
+	// be skipped there, not error the warm-up.
+	n := srv.Warm(context.Background(), []string{"T1", "F1"}, []string{"", "gige-8n", "smp-1n"}, 2)
+	want := 2 /* default */ + 2 /* gige */ + 1 /* smp: T1 only */
+	if n != want {
+		t.Errorf("Warm ran %d, want %d", n, want)
+	}
+	ts := newHTTPTestServer(t, srv)
+	doGet(t, ts.URL+"/experiments/T1?platform=gige-8n", "", "")
+	if got := runs.Load(); int(got) != want {
+		t.Errorf("warmed platform entry re-ran (runs=%d, want %d)", got, want)
 	}
 }
