@@ -11,6 +11,7 @@
 //	charhpc -platform gige-8n T1        # T1 on the GigE preset
 //	charhpc -platform bgp-64n           # everything bgp-64n can answer
 //	charhpc -j 4 -out results/          # 4-way parallel, one file per ID
+//	charhpc -trace T4                   # print the run's timing tree
 //
 // Experiment IDs can be given as positional arguments or via -exp;
 // "all" (the default) selects the whole registry. With -platform the
@@ -59,6 +60,7 @@ func main() {
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 	jFlag := flag.Int("j", 1, "worker pool size: run up to j experiments concurrently")
 	cacheDir := flag.String("cache-dir", "", "share the disk-persistent results cache (see charhpcd)")
+	traceFlag := flag.Bool("trace", false, "print each run's timing tree (per-platform and per-phase spans) after its output")
 	flag.Parse()
 
 	if *listFlag {
@@ -212,6 +214,14 @@ func main() {
 		fmt.Printf("\n### %s (%s): %s  [%s%s]\n", e.ID, e.Kind, e.Title,
 			r.Elapsed.Round(time.Millisecond), mark)
 		os.Stdout.Write(r.Rec.Bytes())
+		if *traceFlag {
+			// Cached replays carry no span: the tree records this run's
+			// timing, and a replay did not run.
+			if sp := r.Rec.Span(); sp != nil {
+				fmt.Printf("--- trace %s ---\n", e.ID)
+				sp.WriteTree(os.Stdout)
+			}
+		}
 		bad := false
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "charhpc: experiment %s: %v\n", e.ID, r.Err)

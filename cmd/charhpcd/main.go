@@ -21,6 +21,13 @@
 //	charhpcd -warm=false -scale-limit full # cold start, allow full runs
 //	charhpcd -warm-platforms default,gige-8n,bgp-64n
 //	charhpcd -cache-dir /var/cache/charhpc -cache-max-bytes 67108864
+//	charhpcd -log-format json -pprof        # machine logs + profiling
+//
+// Observability: GET /metrics (Prometheus text; disable with
+// -metrics=false), GET /debug/traces (recent run timing trees),
+// /debug/pprof/ behind -pprof, per-request access logs with
+// X-Request-ID propagation, and a final JSON summary line on
+// SIGINT/SIGTERM. See internal/serve/README.md.
 package main
 
 import (
@@ -28,7 +35,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,6 +46,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/diskcache"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -52,7 +59,16 @@ func main() {
 	scaleLimit := flag.String("scale-limit", "quick", "largest scale served: quick or full")
 	cacheDir := flag.String("cache-dir", "", "persist the results cache under this directory (empty = memory only)")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this many bytes (0 = unbounded)")
+	metrics := flag.Bool("metrics", true, "serve the Prometheus exposition on GET /metrics")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default)")
+	logFormat := flag.String("log-format", "text", "log line format: text or json")
 	flag.Parse()
+
+	if *logFormat != obs.FormatText && *logFormat != obs.FormatJSON {
+		fmt.Fprintf(os.Stderr, "charhpcd: unknown log format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, *logFormat)
 
 	var limit core.Scale
 	switch *scaleLimit {
@@ -92,11 +108,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "charhpcd: %v\n", err)
 			os.Exit(1)
 		}
-		log.Printf("charhpcd: results cache at %s (%d entries, fingerprint %.12s…)",
-			store.Dir(), store.Len(), store.Fingerprint())
+		logger.Info("results cache open",
+			"dir", store.Dir(), "entries", store.Len(),
+			"fingerprint", store.Fingerprint()[:12])
 	}
 
-	srv := serve.New(serve.Config{ScaleLimit: limit, Store: store})
+	srv := serve.New(serve.Config{
+		ScaleLimit:     limit,
+		Store:          store,
+		DisableMetrics: !*metrics,
+		AccessLog:      logger,
+	})
+	if *pprofOn {
+		srv.EnablePprof()
+	}
 
 	// The signal context is created before the warm-up starts so a
 	// SIGINT mid-warm cancels pending jobs instead of letting the
@@ -112,11 +137,12 @@ func main() {
 			n := srv.Warm(ctx, nil, platforms, *workers)
 			st := srv.Stats()
 			if ctx.Err() != nil {
-				log.Printf("charhpcd: warm-up canceled after %d run(s)", n)
+				logger.Info("warm-up canceled", "runs", n)
 				return
 			}
-			log.Printf("charhpcd: warmed quick-scale cache in %s (%d run, %d loaded from disk, %d workers)",
-				time.Since(t0).Round(time.Millisecond), n, st.DiskLoads, *workers)
+			logger.Info("warm-up complete",
+				"elapsed", time.Since(t0).Round(time.Millisecond).String(),
+				"runs", n, "disk_loads", st.DiskLoads, "workers", *workers)
 		}()
 	} else {
 		close(warmDone)
@@ -132,32 +158,42 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	start := time.Now()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("charhpcd: listening on %s (scale limit %s)", *addr, limit)
+		logger.Info("listening", "addr", *addr, "scale_limit", limit.String())
 		errc <- hs.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("charhpcd: %v", err)
+			logger.Error("serve failed", "error", err.Error())
+			os.Exit(1)
 		}
 	case <-ctx.Done():
 		// Restore default signal disposition right away: a second
 		// SIGINT force-kills instead of being swallowed while the
 		// graceful path waits out in-flight work.
 		stop()
-		log.Printf("charhpcd: shutting down")
+		logger.Info("shutting down")
 		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shctx); err != nil {
-			log.Printf("charhpcd: shutdown: %v", err)
+			logger.Error("shutdown", "error", err.Error())
 		}
 		// Wait for the warm-up to observe the cancellation: pending
 		// jobs are skipped, so this blocks at most for the in-flight
 		// runs — not the rest of the pool — and cache writes settle
 		// before exit.
 		<-warmDone
+		// Final summary: always one JSON line (even under -log-format
+		// text) so a supervisor's log scraper gets the lifetime totals
+		// without parsing the human format.
+		st := srv.Stats()
+		logger.JSONLine("info", "exit summary",
+			"runs", st.Runs, "mem_hits", st.MemHits,
+			"disk_loads", st.DiskLoads, "disk_errs", st.DiskErrs,
+			"uptime_seconds", int(time.Since(start).Seconds()))
 	}
 }

@@ -1,9 +1,11 @@
 // Results-service walk-through: start the HTTP results service
 // in-process, then act as a client against it — list the registry,
 // fetch one experiment in all three negotiated content types,
-// revalidate with If-None-Match to get a 304 off the cache, and
-// finally restart the service over a disk-persistent cache to show a
-// warm start that serves without re-running a single experiment.
+// revalidate with If-None-Match to get a 304 off the cache, scrape
+// the Prometheus cache-tier counters and a run's timing tree off
+// /metrics and /debug/traces, and finally restart the service over a
+// disk-persistent cache to show a warm start that serves without
+// re-running a single experiment.
 //
 //	go run ./examples/results-service
 package main
@@ -117,7 +119,40 @@ func main() {
 	resp.Body.Close()
 	fmt.Printf("revalidating GET with If-None-Match: %s\n", resp.Status)
 
-	// 6. Disk persistence: the same service over a diskcache.Store
+	// 6. Observability: the Prometheus scrape shows how each result so
+	// far was produced (run vs memory hit), and /debug/traces returns
+	// the timing tree of every recent run. T4 runs per-platform, so its
+	// trace has one child span per preset.
+	fmt.Println("\nGET /metrics (cache-tier counters):")
+	body, _ = get(ts.URL+"/metrics", "")
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "charhpc_cache_requests_total") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+
+	get(ts.URL+"/experiments/T4", "text/plain")
+	fmt.Println("\nGET /debug/traces (newest run's timing tree):")
+	var spans []struct {
+		Name     string  `json:"name"`
+		Elapsed  float64 `json:"elapsed_seconds"`
+		Children []struct {
+			Name    string  `json:"name"`
+			Elapsed float64 `json:"elapsed_seconds"`
+		} `json:"children"`
+	}
+	body, _ = get(ts.URL+"/debug/traces?n=1", "")
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		log.Fatalf("bad traces JSON: %v", err)
+	}
+	for _, sp := range spans {
+		fmt.Printf("  %s  %.1fms\n", sp.Name, sp.Elapsed*1e3)
+		for _, c := range sp.Children {
+			fmt.Printf("    %s  %.1fms\n", c.Name, c.Elapsed*1e3)
+		}
+	}
+
+	// 7. Disk persistence: the same service over a diskcache.Store
 	// survives a restart — the second "process" warms entirely from
 	// disk, runs nothing, and serves the same ETag.
 	dir, err := os.MkdirTemp("", "charhpc-cache-*")

@@ -66,7 +66,9 @@ func runM1(w io.Writer, r Request) error {
 		cfg = mem.LadderConfig{MinBytes: 4 << 10, MaxBytes: 256 << 20,
 			PointsPerOctave: 4, Iters: 1 << 20, Trials: 3}
 	}
+	done := phase(w, "measure/ladder")
 	measured, err := mem.Ladder(cfg)
+	done()
 	if err != nil {
 		return err
 	}
@@ -76,11 +78,13 @@ func runM1(w io.Writer, r Request) error {
 	}
 
 	for _, m := range ms {
+		done := phase(w, "model/"+m.Name)
 		maxBytes := 4 * m.Mem.Levels[len(m.Mem.Levels)-1].Capacity
 		series := fig.AddSeries("model/" + m.Name)
 		for _, p := range m.Mem.Ladder(4<<10, maxBytes, 4) {
 			series.Add(float64(p.Bytes), p.Seconds*1e9)
 		}
+		done()
 	}
 	return fig.Fprint(w)
 }
@@ -102,7 +106,9 @@ func runM2(w io.Writer, r Request) error {
 		cfg = mem.TLBConfig{MinPages: 16, MaxPages: 1 << 16, PointsPerOctave: 4,
 			Iters: 1 << 19, Trials: 3}
 	}
+	done := phase(w, "measure/tlb")
 	measured, err := mem.TLBStress(cfg)
+	done()
 	if err != nil {
 		return err
 	}
@@ -112,6 +118,7 @@ func runM2(w io.Writer, r Request) error {
 	}
 
 	for _, m := range ms {
+		done := phase(w, "model/"+m.Name)
 		for _, mode := range []mem.Mode{mem.Paged, mem.BigMemory} {
 			mm := m.Mem.WithMode(mode)
 			// Sweep past the paged-mode reach so the knee shows.
@@ -121,6 +128,7 @@ func runM2(w io.Writer, r Request) error {
 				series.Add(float64(p.Bytes), p.Seconds*1e9)
 			}
 		}
+		done()
 	}
 	return fig.Fprint(w)
 }
@@ -171,9 +179,11 @@ func runM4(w io.Writer, r Request) error {
 		"platform", "level", "true cap", "fit cap", "cap err %",
 		"true ns", "fit ns", "lat err %", "R2")
 	for _, m := range ms {
+		done := phase(w, "fit/"+m.Name)
 		mm := m.Mem.WithMode(mem.BigMemory)
 		maxBytes := 8 * mm.Levels[len(mm.Levels)-1].Capacity
 		fit, err := perfmodel.FitHierarchy(mm.Ladder(4<<10, maxBytes, ppo), len(mm.Levels)+1)
+		done()
 		if err != nil {
 			return fmt.Errorf("fit %s: %w", m.Name, err)
 		}
@@ -237,7 +247,9 @@ func runM5(w io.Writer, r Request) error {
 		"platform", "true local", "fit local", "true remote", "fit remote",
 		"true ratio", "fit ratio", "R2")
 	for _, m := range ms {
+		done := phase(w, "fit/"+m.Name)
 		split, err := perfmodel.FitNUMASplitFromModel(m.Mem, ppo)
+		done()
 		if err != nil {
 			return fmt.Errorf("numa split %s: %w", m.Name, err)
 		}

@@ -103,6 +103,7 @@ func runT4(w io.Writer, r Request) error {
 	}
 	results := make([]row, len(ms))
 	for i, m := range ms {
+		done := phase(w, "platform/"+m.Name)
 		// One rank per node: cyclic placement puts neighbours off-node,
 		// so the fabric (not shared memory) is what gets compared.
 		m.Placement = cluster.Cyclic
@@ -151,6 +152,7 @@ func runT4(w io.Writer, r Request) error {
 			}
 			return nil
 		})
+		done()
 		if err != nil {
 			return fmt.Errorf("platform %s: %w", m.Name, err)
 		}

@@ -8,9 +8,11 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -30,14 +32,61 @@ type Result struct {
 // An invalid platform for this experiment fails before anything runs;
 // a failing experiment still returns whatever output it produced
 // before the error.
+//
+// Every run opens an obs.Span attached to the Recorder (see
+// report.Recorder.Span); experiments hang child spans off it per
+// platform and per probe phase via the phase helper, so the finished
+// Result carries a queryable timing tree without perturbing a single
+// output byte — the span lives beside the report body, never in it.
 func Run(e Experiment, r Request) Result {
 	rec := report.NewRecorder()
 	if err := e.CheckPlatform(r.Platform); err != nil {
 		return Result{Experiment: e, Req: r, Rec: rec, Err: err}
 	}
+	sp := obs.StartSpan(e.ID)
+	sp.SetAttr("id", e.ID)
+	sp.SetAttr("kind", e.Kind)
+	sp.SetAttr("scale", r.Scale.String())
+	if r.Platform != "" {
+		sp.SetAttr("platform", r.Platform)
+	}
+	rec.SetSpan(sp)
 	t0 := time.Now()
 	err := e.Run(rec, r)
+	sp.End()
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
 	return Result{Experiment: e, Req: r, Rec: rec, Elapsed: time.Since(t0), Err: err}
+}
+
+// spanCarrier is the writer capability the tracing helpers probe for;
+// report.Recorder implements it.
+type spanCarrier interface{ Span() *obs.Span }
+
+// spanOf returns the active run span when w carries one, else nil.
+// All obs.Span methods are nil-safe, so callers never need to branch.
+func spanOf(w io.Writer) *obs.Span {
+	if c, ok := w.(spanCarrier); ok {
+		return c.Span()
+	}
+	return nil
+}
+
+// phase opens a child span named name under w's run span and returns
+// its closer — the one-liner experiments use around probe phases and
+// per-platform model passes:
+//
+//	done := phase(w, "measure/ladder")
+//	...
+//	done()
+//
+// On a plain writer (RunAll to stdout, tests) both the span and the
+// closer are no-ops, so instrumented experiments behave identically
+// with or without tracing.
+func phase(w io.Writer, name string) func() {
+	sp := spanOf(w).StartChild(name)
+	return sp.End
 }
 
 // resolve maps experiment IDs to registry entries, failing on the

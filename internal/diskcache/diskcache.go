@@ -39,6 +39,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 const (
@@ -95,7 +97,25 @@ type Store struct {
 	fp       string
 	maxBytes int64
 	mu       sync.Mutex // serializes in-process eviction scans
+	met      Metrics    // optional telemetry sinks; zero value is all no-ops
 }
+
+// Metrics is the store's optional telemetry: set any subset of sinks
+// with SetMetrics and the store reports operation latencies, body
+// bytes moved, and evictions into them. Unset (nil) instruments are
+// no-ops — obs instruments are nil-safe — so partial wiring costs
+// nothing.
+type Metrics struct {
+	GetSeconds *obs.Histogram // latency of every Get (hit or miss)
+	PutSeconds *obs.Histogram // latency of every Put (write + eviction scan)
+	GetBytes   *obs.Counter   // body bytes served from disk (hits only)
+	PutBytes   *obs.Counter   // body bytes written to disk
+	Evictions  *obs.Counter   // entry files removed by the LRU budget
+}
+
+// SetMetrics wires the store's telemetry sinks. Call once, before the
+// store is shared across goroutines.
+func (st *Store) SetMetrics(m Metrics) { st.met = m }
 
 // Open roots a Store at dir (created if absent) for a binary with the
 // given registry fingerprint. If the directory was last written under
@@ -141,6 +161,7 @@ func (st *Store) Fingerprint() string { return st.fp }
 // miss; invalid files are deleted so the slot heals on the next Put.
 // A hit refreshes the file's access time for LRU eviction.
 func (st *Store) Get(k Key) (Entry, bool) {
+	defer st.met.GetSeconds.ObserveSince(time.Now())
 	path := filepath.Join(st.dir, entryName(k))
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -167,6 +188,7 @@ func (st *Store) Get(k Key) (Entry, bool) {
 	}
 	now := time.Now()
 	os.Chtimes(path, now, now) // best-effort LRU touch
+	st.met.GetBytes.Add(int64(len(f.Body)))
 	return Entry{ETag: f.ETag, RunID: f.RunID, Elapsed: time.Duration(f.ElapsedNS), Body: f.Body}, true
 }
 
@@ -175,6 +197,7 @@ func (st *Store) Get(k Key) (Entry, bool) {
 // exceeds the size budget. The just-written entry is never evicted by
 // its own Put.
 func (st *Store) Put(k Key, e Entry) error {
+	defer st.met.PutSeconds.ObserveSince(time.Now())
 	f := fileEntry{
 		Fingerprint: st.fp,
 		ID:          k.ID,
@@ -195,6 +218,7 @@ func (st *Store) Put(k Key, e Entry) error {
 	if err := st.writeFile(name, append(b, '\n')); err != nil {
 		return err
 	}
+	st.met.PutBytes.Add(int64(len(e.Body)))
 	st.evictExcept(name)
 	return nil
 }
@@ -326,6 +350,7 @@ func (st *Store) evictExcept(keep string) {
 		}
 		for _, name := range g.names {
 			os.Remove(filepath.Join(st.dir, name))
+			st.met.Evictions.Inc()
 		}
 		total -= g.size
 	}

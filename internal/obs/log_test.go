@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+}
+
+// TestLoggerJSON pins the JSON line shape: one object per line,
+// time/level/msg first, fields in call order.
+func TestLoggerJSON(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, FormatJSON)
+	l.now = fixedClock
+	l.Info("request", "method", "GET", "status", 200, "dur_ms", 1.5)
+	line := b.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("not one line: %q", line)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("unparseable: %v in %q", err, line)
+	}
+	if m["level"] != "info" || m["msg"] != "request" || m["method"] != "GET" ||
+		m["status"] != float64(200) || m["dur_ms"] != 1.5 {
+		t.Errorf("fields wrong: %v", m)
+	}
+	if !strings.HasPrefix(line, `{"time":"2026-08-08T12:00:00Z","level":"info","msg":"request",`) {
+		t.Errorf("field order not preserved: %q", line)
+	}
+}
+
+// TestLoggerText pins the text shape: timestamp LEVEL msg k=v.
+func TestLoggerText(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, FormatText)
+	l.now = fixedClock
+	l.Error("boom", "cause", "disk")
+	if got, want := b.String(), "2026-08-08T12:00:00Z ERROR boom cause=disk\n"; got != want {
+		t.Errorf("text line = %q, want %q", got, want)
+	}
+}
+
+// TestLoggerJSONLineForcesJSON: the shutdown summary stays machine
+// readable even on a text-format logger.
+func TestLoggerJSONLineForcesJSON(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, FormatText)
+	l.now = fixedClock
+	l.JSONLine("info", "summary", "runs", 4)
+	var m map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &m); err != nil {
+		t.Fatalf("summary not JSON: %v in %q", err, b.String())
+	}
+	if m["runs"] != float64(4) {
+		t.Errorf("summary fields wrong: %v", m)
+	}
+}
+
+// TestLoggerNilSafe: a nil logger is a valid sink.
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Info("ignored", "k", "v")
+	l.Error("ignored")
+	l.JSONLine("info", "ignored")
+}

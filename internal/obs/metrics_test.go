@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le semantics: bounds are
+// inclusive upper limits, a value exactly on a bound lands in that
+// bucket, and everything past the last bound lands in +Inf only.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 1, 5, 10, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 4, 6, 7} // cumulative per bucket incl. +Inf
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum != want[i] {
+			t.Errorf("bucket %d: cumulative %d, want %d", i, cum, want[i])
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+1+5+10+100; got != want {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+}
+
+// TestCounterMonotonicUnderConcurrentScrape hammers a counter and a
+// histogram from many goroutines while scraping concurrently — run
+// with -race, this is the data-race gate — and asserts the counter
+// never moves backwards across scrapes and lands exactly on the total.
+func TestCounterMonotonicUnderConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "operations", L("kind", "test"))
+	h := r.Histogram("op_seconds", "latency", nil, L("kind", "test"))
+
+	const workers, perWorker = 8, 1000
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() { // concurrent scraper
+		defer scraper.Done()
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+			v := c.Value()
+			if v < last {
+				t.Errorf("counter went backwards: %d < %d", v, last)
+				return
+			}
+			last = v
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(0.001)
+				// A negative delta must be ignored, not subtracted.
+				c.Add(-5)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestPrometheusExpositionGolden pins the exact exposition bytes for a
+// small fixed registry: HELP/TYPE lines, sorted families and series,
+// label escaping, histogram bucket/sum/count suffixes.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_requests_total", "requests served", L("handler", "get"), L("code", "200")).Add(3)
+	r.Counter("b_requests_total", "requests served", L("handler", "get"), L("code", "404")).Inc()
+	r.Gauge("c_entries", "cache entries", L("tier", `we"ird`)).Set(7)
+	r.GaugeFunc("d_uptime_seconds", "process uptime", func() float64 { return 1.5 })
+	h := r.Histogram("a_seconds", "latency", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_seconds latency
+# TYPE a_seconds histogram
+a_seconds_bucket{le="0.01"} 1
+a_seconds_bucket{le="0.1"} 2
+a_seconds_bucket{le="+Inf"} 3
+a_seconds_sum 5.055
+a_seconds_count 3
+# HELP b_requests_total requests served
+# TYPE b_requests_total counter
+b_requests_total{code="200",handler="get"} 3
+b_requests_total{code="404",handler="get"} 1
+# HELP c_entries cache entries
+# TYPE c_entries gauge
+c_entries{tier="we\"ird"} 7
+# HELP d_uptime_seconds process uptime
+# TYPE d_uptime_seconds gauge
+d_uptime_seconds 1.5
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestSameInstrumentReturned checks the get-or-create contract: the
+// same (name, labels) yields the same instrument, and label order
+// does not matter.
+func TestSameInstrumentReturned(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", L("a", "1"), L("b", "2"))
+	b := r.Counter("x_total", "", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("aliased counters diverged")
+	}
+}
+
+// TestKindConflictPanics pins that reusing a family name as another
+// metric kind fails loudly at registration, not silently at scrape.
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge registration over a counter name did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpanTreeOrdering pins the tree contract: children appear under
+// their parent in creation order, attributes survive, and End fixes a
+// positive elapsed time that only the first End sets.
+func TestSpanTreeOrdering(t *testing.T) {
+	root := StartSpan("M1")
+	root.SetAttr("id", "M1")
+	a := root.StartChild("measure/ladder")
+	time.Sleep(time.Millisecond)
+	a.End()
+	b := root.StartChild("model/smp-1n")
+	c := b.StartChild("fit")
+	c.End()
+	b.End()
+	root.End()
+	first := root.Duration()
+	root.End() // idempotent: must not stretch the span
+	if root.Duration() != first {
+		t.Errorf("second End changed duration: %v -> %v", first, root.Duration())
+	}
+
+	if len(root.Children) != 2 || root.Children[0] != a || root.Children[1] != b {
+		t.Fatalf("children out of order: %+v", root.Children)
+	}
+	if len(b.Children) != 1 || b.Children[0] != c {
+		t.Fatalf("grandchild missing: %+v", b.Children)
+	}
+	if a.Duration() <= 0 {
+		t.Errorf("child elapsed not set: %v", a.Duration())
+	}
+	if root.Duration() < a.Duration() {
+		t.Errorf("parent (%v) shorter than child (%v)", root.Duration(), a.Duration())
+	}
+	if root.Attrs["id"] != "M1" {
+		t.Errorf("attr lost: %v", root.Attrs)
+	}
+}
+
+// TestSpanJSONRoundTrip checks the tree marshals with the wire field
+// names /debug/traces clients depend on.
+func TestSpanJSONRoundTrip(t *testing.T) {
+	root := StartSpan("T1")
+	root.SetAttr("platform", "gige-8n")
+	root.StartChild("phase").End()
+	root.End()
+	buf, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Name    string            `json:"name"`
+		Attrs   map[string]string `json:"attrs"`
+		Elapsed float64           `json:"elapsed_seconds"`
+		Kids    []json.RawMessage `json:"children"`
+	}
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "T1" || back.Attrs["platform"] != "gige-8n" || len(back.Kids) != 1 {
+		t.Errorf("round trip lost fields: %s", buf)
+	}
+}
+
+// TestSpanNilSafe pins the no-op contract instrumentation points rely
+// on: every method on a nil *Span is safe.
+func TestSpanNilSafe(t *testing.T) {
+	var s *Span
+	s.SetAttr("k", "v")
+	s.End()
+	if c := s.StartChild("x"); c != nil {
+		t.Errorf("nil span produced a child: %v", c)
+	}
+	if d := s.Duration(); d != 0 {
+		t.Errorf("nil span has duration %v", d)
+	}
+	s.WriteTree(&strings.Builder{})
+}
+
+// TestWriteTreeIndentation pins the text rendering charhpc -trace
+// emits: two-space indentation per depth, attrs in brackets.
+func TestWriteTreeIndentation(t *testing.T) {
+	root := StartSpan("M5")
+	root.SetAttr("platform", "fat-1n")
+	root.StartChild("model/fat-1n").End()
+	root.End()
+	var b strings.Builder
+	root.WriteTree(&b)
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %q", b.String())
+	}
+	if !strings.HasPrefix(lines[0], "M5 [platform=fat-1n]") {
+		t.Errorf("root line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  model/fat-1n") {
+		t.Errorf("child line = %q", lines[1])
+	}
+}
+
+// TestTraceBufferRing fills the ring past capacity and checks Recent
+// returns the newest first, oldest evicted.
+func TestTraceBufferRing(t *testing.T) {
+	b := NewTraceBuffer(3)
+	if got := b.Recent(0); len(got) != 0 {
+		t.Fatalf("empty buffer returned %d traces", len(got))
+	}
+	var spans []*Span
+	for i := 0; i < 5; i++ {
+		s := StartSpan(strings.Repeat("x", i+1))
+		s.End()
+		spans = append(spans, s)
+		b.Add(s)
+	}
+	got := b.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	// Newest first: spans 4, 3, 2.
+	for i, want := range []*Span{spans[4], spans[3], spans[2]} {
+		if got[i] != want {
+			t.Errorf("Recent[%d] = %q, want %q", i, got[i].Name, want.Name)
+		}
+	}
+	if got := b.Recent(2); len(got) != 2 || got[0] != spans[4] {
+		t.Errorf("Recent(2) wrong: %v", got)
+	}
+}
+
+// TestNewRequestID sanity-checks uniqueness and shape.
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Errorf("consecutive request IDs collided: %s", a)
+	}
+	if len(a) != 16 {
+		t.Errorf("request ID %q has length %d, want 16", a, len(a))
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Team is a persistent group of workers, the analogue of an OpenMP
@@ -19,6 +21,28 @@ type Team struct {
 	wg      sync.WaitGroup
 	barrier *Barrier
 	once    sync.Once
+
+	regions atomic.Int64 // parallel regions entered (Run calls)
+	busyNS  atomic.Int64 // wall time spent inside Run, nanoseconds
+}
+
+// TeamStats is a snapshot of a team's activity — the worker-pool
+// counters the observability layer attributes probe time with: how
+// many parallel regions ran and the wall time spent inside them
+// (region entry to last-worker exit, the OpenMP-region analogue).
+type TeamStats struct {
+	Regions int64
+	Busy    time.Duration
+}
+
+// Stats returns the team's activity counters. Safe to call
+// concurrently with Run; a region in flight is counted only once it
+// completes.
+func (t *Team) Stats() TeamStats {
+	return TeamStats{
+		Regions: t.regions.Load(),
+		Busy:    time.Duration(t.busyNS.Load()),
+	}
 }
 
 // NewTeam starts a team of n workers (n<=0 means DefaultThreads()).
@@ -89,6 +113,11 @@ func (t *Team) Pinned() bool { return t.pinned }
 // Run executes body(worker) on every worker and blocks until all return.
 // Panics in the body are re-raised on the calling goroutine.
 func (t *Team) Run(body func(worker int)) {
+	t0 := time.Now()
+	defer func() {
+		t.busyNS.Add(int64(time.Since(t0)))
+		t.regions.Add(1)
+	}()
 	var wg sync.WaitGroup
 	wg.Add(t.n)
 	panics := make([]any, t.n)

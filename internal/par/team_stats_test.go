@@ -1,0 +1,39 @@
+package par
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTeamStats pins the activity counters: every Run is one region,
+// busy time accumulates at least the slept wall time, and a fresh
+// team reads zero.
+func TestTeamStats(t *testing.T) {
+	tm := NewTeam(2)
+	defer tm.Close()
+	if s := tm.Stats(); s.Regions != 0 || s.Busy != 0 {
+		t.Fatalf("fresh team stats = %+v", s)
+	}
+	const regions = 3
+	for i := 0; i < regions; i++ {
+		tm.Run(func(int) { time.Sleep(time.Millisecond) })
+	}
+	s := tm.Stats()
+	if s.Regions != regions {
+		t.Errorf("Regions = %d, want %d", s.Regions, regions)
+	}
+	if s.Busy < regions*time.Millisecond {
+		t.Errorf("Busy = %v, want >= %v", s.Busy, regions*time.Millisecond)
+	}
+}
+
+// TestTeamStatsCountsForStatic: ForStatic runs through Run, so it is
+// one region too.
+func TestTeamStatsCountsForStatic(t *testing.T) {
+	tm := NewTeam(2)
+	defer tm.Close()
+	tm.ForStatic(8, func(lo, hi, w int) {})
+	if s := tm.Stats(); s.Regions != 1 {
+		t.Errorf("Regions = %d, want 1", s.Regions)
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/obs"
 )
 
 // Section is the structured form of one rendered table or figure:
@@ -91,8 +93,9 @@ func writeCSVRow(w io.Writer, cells []string) error {
 // every table/figure rendered through this package. Not safe for
 // concurrent use; each experiment run gets its own Recorder.
 type Recorder struct {
-	buf bytes.Buffer
-	doc Document
+	buf  bytes.Buffer
+	doc  Document
+	span *obs.Span // active run span; see timing.go
 }
 
 // NewRecorder returns an empty Recorder.

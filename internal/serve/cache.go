@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // key identifies one cached result: which experiment at which scale
@@ -41,6 +42,11 @@ type entry struct {
 type cache struct {
 	mu      sync.Mutex
 	entries map[key]*entry
+
+	// waits, when set, records how long hits blocked on an entry's
+	// done channel: ~0 for filled entries, the remaining run time for
+	// in-flight ones. Nil-safe (obs instruments no-op on nil).
+	waits *obs.Histogram
 }
 
 func newCache() *cache {
@@ -55,7 +61,9 @@ func (c *cache) get(k key, fill func() (map[string]rep, time.Duration, error)) (
 	c.mu.Lock()
 	if e, ok := c.entries[k]; ok {
 		c.mu.Unlock()
+		t0 := time.Now()
 		<-e.done
+		c.waits.ObserveSince(t0)
 		if e.err != nil {
 			return nil, true, e.err
 		}
@@ -89,6 +97,13 @@ func safeFill(fill func() (map[string]rep, time.Duration, error)) (reps map[stri
 		}
 	}()
 	return fill()
+}
+
+// len reports the number of cached entries, in-flight fills included.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
 }
 
 // claim reserves k if it is cold, returning the unfilled entry and

@@ -1,0 +1,213 @@
+// The service's observability surface: the metric instruments, the
+// request middleware (request IDs, access logs, per-handler latency),
+// and the GET /metrics, GET /debug/traces, and /debug/pprof handlers.
+// Metric names and label sets are documented in this package's README;
+// the CI smoke test greps them, so renames are breaking changes.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diskcache"
+	"repro/internal/obs"
+)
+
+// ctProm is the Prometheus text exposition content type.
+const ctProm = "text/plain; version=0.0.4; charset=utf-8"
+
+// telemetry bundles the server's instruments. All of them live in one
+// obs.Registry (scraped by GET /metrics); the handles are cached here
+// so hot paths skip the registry's name lookup.
+type telemetry struct {
+	reg *obs.Registry
+
+	// Cache-tier counters: how each request's result was produced.
+	runTotal  *obs.Counter // tier="run": experiment executions started
+	memHits   *obs.Counter // tier="mem": answered by a warm/in-flight memory entry
+	diskLoads *obs.Counter // tier="disk": cold keys filled from the disk store
+	diskErrs  *obs.Counter // failed disk-store writes
+
+	sfWait *obs.Histogram // time requests spent waiting on the single-flight entry
+
+	warmPlanned   *obs.Gauge // warm-up jobs planned (experiments × platforms, compatible)
+	warmCompleted *obs.Gauge // warm-up jobs resolved (loaded, run, or canceled)
+	warmRunning   *obs.Gauge // 1 while a Warm call is in flight
+}
+
+// newTelemetry registers the server's instruments on reg and, when a
+// disk store is configured, wires its operation metrics too.
+func newTelemetry(reg *obs.Registry, store *diskcache.Store) *telemetry {
+	m := &telemetry{reg: reg}
+	tier := func(t string) *obs.Counter {
+		return reg.Counter("charhpc_cache_requests_total",
+			"results produced per cache tier (run = executed, mem = memory hit, disk = store load)",
+			obs.L("tier", t))
+	}
+	m.runTotal = tier("run")
+	m.memHits = tier("mem")
+	m.diskLoads = tier("disk")
+	m.diskErrs = reg.Counter("charhpc_cache_errors_total",
+		"failed cache operations (the entry still serves from memory)", obs.L("tier", "disk"))
+	m.sfWait = reg.Histogram("charhpc_singleflight_wait_seconds",
+		"time requests waited on an in-flight or cached single-flight entry", nil)
+	m.warmPlanned = reg.Gauge("charhpc_warmup_planned",
+		"warm-up jobs planned (compatible experiment x platform pairs)")
+	m.warmCompleted = reg.Gauge("charhpc_warmup_completed",
+		"warm-up jobs resolved: loaded from disk, executed, or canceled")
+	m.warmRunning = reg.Gauge("charhpc_warmup_running",
+		"1 while a warm-up pass is in flight")
+	if store != nil {
+		op := func(o string) *obs.Histogram {
+			return reg.Histogram("charhpc_diskcache_op_seconds",
+				"disk store operation latency", nil, obs.L("op", o))
+		}
+		by := func(o string) *obs.Counter {
+			return reg.Counter("charhpc_diskcache_bytes_total",
+				"result body bytes moved through the disk store", obs.L("op", o))
+		}
+		store.SetMetrics(diskcache.Metrics{
+			GetSeconds: op("get"),
+			PutSeconds: op("put"),
+			GetBytes:   by("get"),
+			PutBytes:   by("put"),
+			Evictions: reg.Counter("charhpc_diskcache_evictions_total",
+				"disk store entry files evicted by the LRU byte budget"),
+		})
+	}
+	return m
+}
+
+// registerScrapeGauges adds the computed-at-scrape gauges that need
+// the fully built server: uptime, cache entry counts, build identity.
+func (s *Server) registerScrapeGauges() {
+	reg := s.m.reg
+	reg.GaugeFunc("charhpc_uptime_seconds", "seconds since the server was built",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("charhpc_cache_entries", "entries per cache tier",
+		func() float64 { return float64(s.cache.len()) }, obs.L("tier", "mem"))
+	if s.cfg.Store != nil {
+		reg.GaugeFunc("charhpc_cache_entries", "entries per cache tier",
+			func() float64 { return float64(s.cfg.Store.Len()) }, obs.L("tier", "disk"))
+	}
+	reg.GaugeFunc("charhpc_build_info", "constant 1, labeled with the registry fingerprint",
+		func() float64 { return 1 }, obs.L("fingerprint", core.Fingerprint()))
+}
+
+// Registry returns the server's metric registry, so embedding binaries
+// can add their own instruments to the same GET /metrics scrape.
+func (s *Server) Registry() *obs.Registry { return s.m.reg }
+
+// Traces returns the server's trace ring — the last N completed run
+// traces, newest first. GET /debug/traces renders the same data.
+func (s *Server) Traces(n int) []*obs.Span { return s.traces.Recent(n) }
+
+// handleMetrics serves the Prometheus text exposition of every
+// registered instrument.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", ctProm)
+	s.m.reg.WritePrometheus(w)
+}
+
+// handleTraces serves the last N run traces as a JSON array, newest
+// first. ?n= bounds the count (default and maximum: the ring size).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		i, err := strconv.Atoi(v)
+		if err != nil || i < 1 {
+			http.Error(w, fmt.Sprintf("bad n %q (want a positive integer)", v), http.StatusBadRequest)
+			return
+		}
+		n = i
+	}
+	spans := s.traces.Recent(n)
+	if spans == nil {
+		spans = []*obs.Span{}
+	}
+	b, err := json.Marshal(spans)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ctJSON)
+	w.Write(append(b, '\n'))
+}
+
+// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/ on
+// the server's own mux (the daemon's -pprof flag; off by default — the
+// profile endpoints can pause the process and belong behind an
+// operator's explicit choice, never on an internet-facing default).
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// statusWriter captures the status code and body size a handler
+// produced, for the request metrics and access log.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// handlerLabel maps a request path to a bounded metric label — never
+// the raw path, whose cardinality is caller-controlled.
+func handlerLabel(path string) string {
+	switch {
+	case path == "/healthz":
+		return "healthz"
+	case path == "/metrics":
+		return "metrics"
+	case path == "/debug/traces":
+		return "debug_traces"
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return "pprof"
+	case path == "/experiments":
+		return "experiments_list"
+	case strings.HasPrefix(path, "/experiments/"):
+		return "experiment_get"
+	default:
+		return "other"
+	}
+}
+
+// observe records one finished request into the metrics and the
+// access log.
+func (s *Server) observe(r *http.Request, sw *statusWriter, rid string, t0 time.Time) {
+	handler := handlerLabel(r.URL.Path)
+	elapsed := time.Since(t0)
+	s.m.reg.Counter("charhpc_requests_total", "HTTP requests served",
+		obs.L("handler", handler), obs.L("code", strconv.Itoa(sw.code))).Inc()
+	s.m.reg.Histogram("charhpc_request_seconds", "HTTP request latency", nil,
+		obs.L("handler", handler)).Observe(elapsed.Seconds())
+	s.accessLog.Info("request",
+		"request_id", rid,
+		"method", r.Method,
+		"path", r.URL.RequestURI(),
+		"status", sw.code,
+		"bytes", sw.bytes,
+		"elapsed_ms", float64(elapsed.Microseconds())/1e3,
+		"remote", r.RemoteAddr,
+	)
+}

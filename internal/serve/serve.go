@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diskcache"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -72,7 +73,30 @@ type Config struct {
 	// core.Fingerprint() so entries from other binaries or registry
 	// shapes are rejected (see internal/diskcache).
 	Store *diskcache.Store
+
+	// Metrics, when non-nil, is the registry the server's instruments
+	// live in — pass one to share a scrape with the embedding binary's
+	// own metrics. Nil gets a private registry. GET /metrics always
+	// serves the server's registry either way, unless DisableMetrics.
+	Metrics *obs.Registry
+
+	// DisableMetrics leaves GET /metrics unregistered (charhpcd
+	// -metrics=false). Instruments still record; only the scrape
+	// endpoint is withheld.
+	DisableMetrics bool
+
+	// AccessLog, when non-nil, receives one structured line per
+	// request (request ID, method, path, status, bytes, latency).
+	// Nil disables access logging; a nil *obs.Logger is also safe.
+	AccessLog *obs.Logger
+
+	// TraceCapacity bounds the ring of recent run traces served by
+	// GET /debug/traces; 0 means DefaultTraceCapacity.
+	TraceCapacity int
 }
+
+// DefaultTraceCapacity is the trace-ring size when Config leaves it 0.
+const DefaultTraceCapacity = 32
 
 // Server is the HTTP results service. It implements http.Handler.
 type Server struct {
@@ -81,15 +105,16 @@ type Server struct {
 	cache    *cache
 	mux      *http.ServeMux
 
-	runs      atomic.Int64 // experiment executions started
-	memHits   atomic.Int64 // requests answered by a warm/in-flight memory entry
-	diskLoads atomic.Int64 // cold keys filled from the disk store
-	diskErrs  atomic.Int64 // failed disk-store writes (cache still serves)
+	m         *telemetry
+	traces    *obs.TraceBuffer
+	accessLog *obs.Logger
+	start     time.Time
 }
 
 // Stats is a snapshot of the server's cache counters, also rendered
 // on /healthz so operators (and the CI smoke test) can assert cache
-// behavior across restarts.
+// behavior across restarts. GET /metrics exposes the same counters as
+// charhpc_cache_requests_total{tier=...}.
 type Stats struct {
 	Runs      int64 // experiment executions started
 	MemHits   int64 // requests served from the in-memory cache
@@ -100,10 +125,10 @@ type Stats struct {
 // Stats returns the current counter snapshot.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Runs:      s.runs.Load(),
-		MemHits:   s.memHits.Load(),
-		DiskLoads: s.diskLoads.Load(),
-		DiskErrs:  s.diskErrs.Load(),
+		Runs:      s.m.runTotal.Value(),
+		MemHits:   s.m.memHits.Value(),
+		DiskLoads: s.m.diskLoads.Value(),
+		DiskErrs:  s.m.diskErrs.Value(),
 	}
 }
 
@@ -112,23 +137,67 @@ func New(cfg Config) *Server {
 	if cfg.RunFunc == nil {
 		cfg.RunFunc = core.Run
 	}
-	s := &Server{cfg: cfg, listReps: buildListReps(), cache: newCache(), mux: http.NewServeMux()}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	traceCap := cfg.TraceCapacity
+	if traceCap <= 0 {
+		traceCap = DefaultTraceCapacity
+	}
+	s := &Server{
+		cfg:       cfg,
+		listReps:  buildListReps(),
+		cache:     newCache(),
+		mux:       http.NewServeMux(),
+		m:         newTelemetry(reg, cfg.Store),
+		traces:    obs.NewTraceBuffer(traceCap),
+		accessLog: cfg.AccessLog,
+		start:     time.Now(),
+	}
+	s.cache.waits = s.m.sfWait
+	s.registerScrapeGauges()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /experiments", s.handleList)
 	s.mux.HandleFunc("GET /experiments/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	if !cfg.DisableMetrics {
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: request-ID propagation (an
+// incoming X-Request-ID is honored, otherwise one is minted; the ID is
+// always echoed on the response), then the routed handler, then the
+// request metrics and one access-log line.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	t0 := time.Now()
+	rid := r.Header.Get("X-Request-ID")
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", rid)
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	s.observe(r, sw, rid, t0)
 }
 
+// handleHealthz reports liveness plus identity: the cache counters the
+// smoke test asserts, the registry fingerprint (so a shard router can
+// check it is fronting compatible binaries, not just live ones),
+// process uptime, and per-tier cache entry counts.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", ctText)
 	st := s.Stats()
-	fmt.Fprintf(w, "ok runs=%d mem_hits=%d disk_loads=%d disk_errs=%d\n",
-		st.Runs, st.MemHits, st.DiskLoads, st.DiskErrs)
+	diskEntries := 0
+	if s.cfg.Store != nil {
+		diskEntries = s.cfg.Store.Len()
+	}
+	fmt.Fprintf(w, "ok runs=%d mem_hits=%d disk_loads=%d disk_errs=%d fingerprint=%s uptime_seconds=%d mem_entries=%d disk_entries=%d\n",
+		st.Runs, st.MemHits, st.DiskLoads, st.DiskErrs,
+		core.Fingerprint(), int(time.Since(s.start).Seconds()),
+		s.cache.len(), diskEntries)
 }
 
 // listEntry is one row of the JSON registry listing. Platforms names
@@ -232,7 +301,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	// Waiters on a failed fill got a 500, not a cached result — only
 	// a successful wait counts as a hit.
 	if hit {
-		s.memHits.Add(1)
+		s.m.memHits.Inc()
 	}
 
 	rp := ent.reps[ct]
@@ -312,7 +381,7 @@ func renderResult(res core.Result) (map[string]rep, time.Duration, error) {
 // front for the store.
 func (s *Server) fill(e core.Experiment, req core.Request) (map[string]rep, time.Duration, error) {
 	if reps, elapsed, ok := s.loadStore(e.ID, req); ok {
-		s.diskLoads.Add(1)
+		s.m.diskLoads.Inc()
 		return reps, elapsed, nil
 	}
 	reps, elapsed, err := renderResult(s.safeRun(e, req))
@@ -351,6 +420,12 @@ func (s *Server) Warm(ctx context.Context, ids []string, platforms []string, wor
 	if platforms == nil {
 		platforms = []string{""}
 	}
+	// Progress gauges: planned counts every claimed key (disk loads
+	// included), completed counts each as it resolves — loaded,
+	// executed, or canceled — so an operator watching /metrics sees
+	// warm-up advance and finish (warmup_running drops to 0).
+	s.m.warmRunning.Set(1)
+	defer s.m.warmRunning.Set(0)
 	total := 0
 	for _, platform := range platforms {
 		req := core.Request{Scale: core.Quick, Platform: platform}
@@ -365,9 +440,11 @@ func (s *Server) Warm(ctx context.Context, ids []string, platforms []string, wor
 			if !ok {
 				continue
 			}
+			s.m.warmPlanned.Add(1)
 			if reps, elapsed, lok := s.loadStore(id, req); lok {
-				s.diskLoads.Add(1)
+				s.m.diskLoads.Inc()
 				s.cache.finish(key{id, req}, ent, reps, elapsed, nil)
+				s.m.warmCompleted.Add(1)
 				continue
 			}
 			claimed[id] = ent
@@ -399,6 +476,7 @@ func (s *Server) Warm(ctx context.Context, ids []string, platforms []string, wor
 				s.saveStore(r.Experiment.ID, req, reps, elapsed)
 			}
 			s.cache.finish(k, claimed[r.Experiment.ID], reps, elapsed, err)
+			s.m.warmCompleted.Add(1)
 		})
 		total += int(ran.Load())
 	}
@@ -411,12 +489,20 @@ func (s *Server) Warm(ctx context.Context, ids []string, platforms []string, wor
 // the job's own identity is stamped on the result so cache keys and
 // JSON envelopes never depend on what a wrapper echoed back.
 func (s *Server) safeRun(e core.Experiment, req core.Request) (res core.Result) {
-	s.runs.Add(1)
+	s.m.runTotal.Inc()
 	defer func() {
 		if r := recover(); r != nil {
 			res = core.Result{Err: fmt.Errorf("experiment run panicked: %v", r)}
 		}
 		res.Experiment, res.Req = e, req
+		// A real run carries its timing tree on the Recorder (core.Run
+		// attached it); retain it for GET /debug/traces. Disk loads and
+		// rebuilt cache entries have no span and are skipped.
+		if res.Rec != nil {
+			if sp := res.Rec.Span(); sp != nil {
+				s.traces.Add(sp)
+			}
+		}
 	}()
 	return s.cfg.RunFunc(e, req)
 }
@@ -504,7 +590,7 @@ func (s *Server) saveStore(id string, req core.Request, reps map[string]rep, ela
 		return
 	}
 	if err := putReps(s.cfg.Store, id, req, reps, elapsed); err != nil {
-		s.diskErrs.Add(1)
+		s.m.diskErrs.Inc()
 	}
 }
 
