@@ -12,6 +12,15 @@
 //	charhpc -platform bgp-64n           # everything bgp-64n can answer
 //	charhpc -j 4 -out results/          # 4-way parallel, one file per ID
 //	charhpc -trace T4                   # print the run's timing tree
+//	charhpc -trace-json traces.jsonl T4 # span trees as JSON lines ('-' = stdout)
+//	charhpc -submit :8080 T1            # run on a charhpcd daemon, follow live
+//
+// With -submit the selection is not executed locally: each experiment
+// is submitted to the daemon's async run API (POST /runs), its
+// progress events stream back as a live one-line status (-follow,
+// default on; phases and sections as the run produces them), and the
+// finished job hands off to the daemon's cached result, printed like a
+// local run's output.
 //
 // Experiment IDs can be given as positional arguments or via -exp;
 // "all" (the default) selects the whole registry. With -platform the
@@ -38,6 +47,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -61,6 +71,9 @@ func main() {
 	jFlag := flag.Int("j", 1, "worker pool size: run up to j experiments concurrently")
 	cacheDir := flag.String("cache-dir", "", "share the disk-persistent results cache (see charhpcd)")
 	traceFlag := flag.Bool("trace", false, "print each run's timing tree (per-platform and per-phase spans) after its output")
+	traceJSON := flag.String("trace-json", "", "append each run's span tree as one JSON line to this file ('-' = stdout)")
+	submitFlag := flag.String("submit", "", "submit to a charhpcd daemon at this address (POST /runs) instead of running locally")
+	followFlag := flag.Bool("follow", true, "with -submit: stream each job's events as live progress, then print its result")
 	flag.Parse()
 
 	if *listFlag {
@@ -140,6 +153,12 @@ func main() {
 		}
 	}
 
+	// Client mode: hand the selection to a daemon's async run API and
+	// render its progress; nothing executes in this process.
+	if *submitFlag != "" {
+		os.Exit(runSubmit(*submitFlag, ids, req, *followFlag))
+	}
+
 	var store *diskcache.Store
 	if *cacheDir != "" {
 		var err error
@@ -147,6 +166,23 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "charhpc: %v\n", err)
 			os.Exit(1)
+		}
+	}
+
+	// -trace-json sink: one JSON line per executed run (cached replays
+	// carry no span), appended as results print in registry order.
+	var traceSink *os.File
+	if *traceJSON != "" {
+		if *traceJSON == "-" {
+			traceSink = os.Stdout
+		} else {
+			f, err := os.OpenFile(*traceJSON, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "charhpc: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			traceSink = f
 		}
 	}
 
@@ -220,6 +256,15 @@ func main() {
 			if sp := r.Rec.Span(); sp != nil {
 				fmt.Printf("--- trace %s ---\n", e.ID)
 				sp.WriteTree(os.Stdout)
+			}
+		}
+		if traceSink != nil {
+			if sp := r.Rec.Span(); sp != nil {
+				if b, err := json.Marshal(sp); err == nil {
+					fmt.Fprintf(traceSink, "%s\n", b)
+				} else {
+					fmt.Fprintf(os.Stderr, "charhpc: trace-json %s: %v\n", e.ID, err)
+				}
 			}
 		}
 		bad := false

@@ -22,6 +22,15 @@
 //	charhpcd -warm-platforms default,gige-8n,bgp-64n
 //	charhpcd -cache-dir /var/cache/charhpc -cache-max-bytes 67108864
 //	charhpcd -log-format json -pprof        # machine logs + profiling
+//	charhpcd -jobs 4 -jobs-history 128      # async run capacity (POST /runs)
+//
+// Beyond the blocking GET, runs can be submitted asynchronously:
+// POST /runs answers 202 with a job ID, GET /runs/{id}/events streams
+// the run's progress as Server-Sent Events, and the terminal event
+// hands the client off to the cached synchronous result (charhpc
+// -submit drives this end to end). -jobs bounds concurrent job
+// executions; -jobs-history bounds how many finished jobs stay
+// inspectable via GET /runs.
 //
 // Observability: GET /metrics (Prometheus text; disable with
 // -metrics=false), GET /debug/traces (recent run timing trees),
@@ -59,6 +68,8 @@ func main() {
 	scaleLimit := flag.String("scale-limit", "quick", "largest scale served: quick or full")
 	cacheDir := flag.String("cache-dir", "", "persist the results cache under this directory (empty = memory only)")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this many bytes (0 = unbounded)")
+	jobsFlag := flag.Int("jobs", serve.DefaultJobWorkers, "async run jobs (POST /runs) executing concurrently; further submissions queue")
+	jobsHistory := flag.Int("jobs-history", serve.DefaultJobHistory, "finished async jobs retained for GET /runs inspection")
 	metrics := flag.Bool("metrics", true, "serve the Prometheus exposition on GET /metrics")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default)")
 	logFormat := flag.String("log-format", "text", "log line format: text or json")
@@ -116,6 +127,8 @@ func main() {
 	srv := serve.New(serve.Config{
 		ScaleLimit:     limit,
 		Store:          store,
+		Jobs:           *jobsFlag,
+		JobsHistory:    *jobsHistory,
 		DisableMetrics: !*metrics,
 		AccessLog:      logger,
 	})

@@ -3,7 +3,9 @@
 // fetch one experiment in all three negotiated content types,
 // revalidate with If-None-Match to get a 304 off the cache, scrape
 // the Prometheus cache-tier counters and a run's timing tree off
-// /metrics and /debug/traces, and finally restart the service over a
+// /metrics and /debug/traces, submit an async job and stream its
+// progress events until the terminal ETag hands back to the cached
+// synchronous result, and finally restart the service over a
 // disk-persistent cache to show a warm start that serves without
 // re-running a single experiment.
 //
@@ -11,6 +13,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -152,7 +155,73 @@ func main() {
 		}
 	}
 
-	// 7. Disk persistence: the same service over a diskcache.Store
+	// 7. Async jobs: submit a run instead of blocking on it, stream its
+	// progress as Server-Sent Events (live phase/section events from
+	// the run's own instrumentation), and hand off to the cached result
+	// via the terminal event's ETag — byte-identical to a blocking GET.
+	fmt.Println("\nPOST /runs?id=M1 (async submission):")
+	presp, err := http.Post(ts.URL+"/runs?id=M1", "", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sub struct {
+		Job       string `json:"job"`
+		State     string `json:"state"`
+		EventsURL string `json:"events_url"`
+	}
+	if err := json.NewDecoder(presp.Body).Decode(&sub); err != nil {
+		log.Fatalf("bad submit response: %v", err)
+	}
+	presp.Body.Close()
+	fmt.Printf("  %s -> job %s (%s)\n", presp.Status, sub.Job, sub.State)
+
+	fmt.Printf("GET %s (Server-Sent Events):\n", sub.EventsURL)
+	eresp, err := http.Get(ts.URL + sub.EventsURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var terminal struct {
+		Type string            `json:"type"`
+		Data map[string]string `json:"data"`
+	}
+	shown, total := 0, 0
+	sc := bufio.NewScanner(eresp.Body)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		total++
+		var ev struct {
+			Type string            `json:"type"`
+			Data map[string]string `json:"data"`
+		}
+		json.Unmarshal([]byte(data), &ev)
+		if shown < 4 {
+			fmt.Printf("  event %-8s %v\n", ev.Type, ev.Data)
+			shown++
+		}
+		if ev.Type == "done" || ev.Type == "failed" || ev.Type == "canceled" {
+			terminal.Type, terminal.Data = ev.Type, ev.Data
+			break
+		}
+	}
+	eresp.Body.Close()
+	fmt.Printf("  ... %d events total, terminal %q tier=%s\n",
+		total, terminal.Type, terminal.Data["tier"])
+	// The terminal event's ETag revalidates against the blocking GET:
+	// the async job filled the very same cache entry.
+	req, _ = http.NewRequest("GET", ts.URL+terminal.Data["url"], nil)
+	req.Header.Set("If-None-Match", terminal.Data["etag"])
+	cresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, cresp.Body)
+	cresp.Body.Close()
+	fmt.Printf("  GET %s with the job's ETag -> %s\n", terminal.Data["url"], cresp.Status)
+
+	// 8. Disk persistence: the same service over a diskcache.Store
 	// survives a restart — the second "process" warms entirely from
 	// disk, runs nothing, and serves the same ETag.
 	dir, err := os.MkdirTemp("", "charhpc-cache-*")

@@ -39,6 +39,34 @@ type Result struct {
 // Result carries a queryable timing tree without perturbing a single
 // output byte — the span lives beside the report body, never in it.
 func Run(e Experiment, r Request) Result {
+	return RunWithHooks(e, r, RunHooks{})
+}
+
+// RunHooks observes one execution live, while the experiment is still
+// producing output — the feed behind the async job API's progress
+// stream. All fields are optional; the zero value makes RunWithHooks
+// identical to Run. Callbacks fire on the goroutine driving the run
+// (spans of concurrent children may fire from theirs) and must not
+// write to the experiment's output.
+type RunHooks struct {
+	// SpanAttrs are stamped on the run's root span in addition to the
+	// standard identity attrs — e.g. the owning job ID, so a run's
+	// trace in /debug/traces can be tied back to its job.
+	SpanAttrs map[string]string
+	// Section fires as each table/figure lands on the Recorder.
+	Section func(report.Section)
+	// SpanStarted/SpanEnded observe the run's span tree as it grows:
+	// one Started per child span (per-platform passes, probe phases),
+	// one Ended per span including the root.
+	SpanStarted func(*obs.Span)
+	SpanEnded   func(*obs.Span)
+}
+
+// RunWithHooks is Run with live observation: sections and span
+// transitions are reported through h as they happen. The Result —
+// output bytes, structured sections, ETag-relevant content — is
+// byte-identical to Run's; hooks only watch.
+func RunWithHooks(e Experiment, r Request, h RunHooks) Result {
 	rec := report.NewRecorder()
 	if err := e.CheckPlatform(r.Platform); err != nil {
 		return Result{Experiment: e, Req: r, Rec: rec, Err: err}
@@ -49,6 +77,15 @@ func Run(e Experiment, r Request) Result {
 	sp.SetAttr("scale", r.Scale.String())
 	if r.Platform != "" {
 		sp.SetAttr("platform", r.Platform)
+	}
+	for k, v := range h.SpanAttrs {
+		sp.SetAttr(k, v)
+	}
+	if h.SpanStarted != nil || h.SpanEnded != nil {
+		sp.Observe(obs.ObserverFuncs{Started: h.SpanStarted, Ended: h.SpanEnded})
+	}
+	if h.Section != nil {
+		rec.SetSectionHook(h.Section)
 	}
 	rec.SetSpan(sp)
 	t0 := time.Now()

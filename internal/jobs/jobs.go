@@ -1,0 +1,517 @@
+// Package jobs runs long work asynchronously and makes it observable
+// while it happens: a registry of jobs with a bounded worker pool, a
+// bounded history of finished jobs, and — per job — an append-only
+// event log fed by a buffered progress channel, so the work's own
+// goroutines post cheap updates and never block on a slow consumer.
+//
+// The serving layer (internal/serve) drives this for experiment runs:
+// POST /runs submits a job, GET /runs/{id}/events streams its log as
+// Server-Sent Events. The package itself knows nothing about HTTP or
+// experiments; the work is an opaque RunFunc and the events are typed
+// key/value records.
+//
+// Lifecycle: a submitted job is pending until a worker slot frees,
+// running while its RunFunc executes, and ends done, failed, or
+// canceled. Cancel is prompt in every state — a pending job never
+// runs, and a running job transitions immediately while its work is
+// left to finish in the background (detached); late events and the
+// late outcome are discarded.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// The five job states. Terminal events carry their state as the event
+// type, so the stream's last event is self-describing.
+const (
+	Pending  State = "pending"  // submitted, waiting for a worker slot
+	Running  State = "running"  // RunFunc executing
+	Done     State = "done"     // finished successfully
+	Failed   State = "failed"   // finished with an error
+	Canceled State = "canceled" // canceled before or during execution
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// Event types beyond the terminal states (whose type is the state
+// itself: "done", "failed", "canceled").
+const (
+	EventState   = "state"   // lifecycle transition; data: state
+	EventPhase   = "phase"   // a run phase opened or closed; data: name, state, elapsed_seconds
+	EventSection = "section" // one report section completed; data: title, kind, rows
+)
+
+// Event is one progress record in a job's log. Seq is dense and
+// strictly increasing per job (the SSE layer uses it as the event ID,
+// so clients resume with Last-Event-ID).
+type Event struct {
+	Seq  int               `json:"seq"`
+	Time time.Time         `json:"time"`
+	Type string            `json:"type"`
+	Data map[string]string `json:"data,omitempty"`
+}
+
+// Terminal reports whether this is the job's final event.
+func (e Event) Terminal() bool { return State(e.Type).Terminal() }
+
+// Spec identifies what a job runs — echoed in statuses and listings.
+type Spec struct {
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale"`
+	Platform   string `json:"platform,omitempty"`
+}
+
+// Outcome is what a RunFunc hands back: an error (a context.Canceled
+// cause marks the job canceled rather than failed) or a data map
+// merged into the terminal event — the result ETag, elapsed time, and
+// cache tier, in the serving layer's case.
+type Outcome struct {
+	Err  error
+	Data map[string]string
+}
+
+// RunFunc executes one job's work. ctx is canceled by Job.Cancel (and
+// nothing else); progress goes through j.Emit. The returned Outcome
+// becomes the terminal event unless the job was already canceled.
+type RunFunc func(ctx context.Context, j *Job) Outcome
+
+// Metrics are the optional instruments the registry drives. All
+// obs instruments are nil-safe, so the zero value disables metrics
+// without a single branch here.
+type Metrics struct {
+	Submitted *obs.Counter // jobs accepted
+	Done      *obs.Counter // terminal state counters
+	Failed    *obs.Counter
+	Canceled  *obs.Counter
+	Events    *obs.Counter // progress events appended across all jobs
+}
+
+// Defaults for Registry sizing when New is given zeros.
+const (
+	DefaultWorkers = 2
+	DefaultHistory = 64
+
+	// progressBuffer sizes each job's progress channel. A full-scale
+	// characterization run emits a few hundred phase/section events;
+	// the buffer absorbs bursts (tight fit loops opening spans) so the
+	// run's goroutines virtually never block on the collector.
+	progressBuffer = 256
+)
+
+// Registry owns the job table: a bounded worker pool executing
+// RunFuncs, plus a bounded ring of finished jobs kept for inspection.
+// Safe for concurrent use.
+type Registry struct {
+	workers int
+	history int
+	sem     chan struct{}
+	m       Metrics
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // submission order; the eviction scan walks it oldest-first
+}
+
+// New builds a registry running at most `workers` jobs concurrently
+// and retaining the last `history` finished jobs (zeros mean the
+// defaults; minimum 1 each).
+func New(workers, history int) *Registry {
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	if history <= 0 {
+		history = DefaultHistory
+	}
+	return &Registry{
+		workers: workers,
+		history: history,
+		sem:     make(chan struct{}, workers),
+		jobs:    map[string]*Job{},
+	}
+}
+
+// SetMetrics wires the registry's instruments. Call before traffic.
+func (r *Registry) SetMetrics(m Metrics) { r.m = m }
+
+// Submit registers a new pending job and schedules run on the worker
+// pool. It returns immediately; the job's event log starts with a
+// "state: pending" event, so even an instant subscriber sees a
+// non-empty stream.
+func (r *Registry) Submit(spec Spec, run RunFunc) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		ID:       obs.NewRequestID(),
+		Spec:     spec,
+		Created:  time.Now(),
+		reg:      r,
+		cancel:   cancel,
+		state:    Pending,
+		notify:   make(chan struct{}),
+		progress: make(chan Event, progressBuffer),
+		drained:  make(chan struct{}),
+	}
+	go j.collect()
+	j.post(Event{Type: EventState, Data: map[string]string{"state": string(Pending)}})
+
+	r.mu.Lock()
+	r.jobs[j.ID] = j
+	r.order = append(r.order, j.ID)
+	r.evictLocked()
+	r.mu.Unlock()
+	r.m.Submitted.Inc()
+
+	go r.drive(ctx, j, run)
+	return j
+}
+
+// drive waits for a worker slot, runs the job, and settles its
+// terminal state. It is the only writer of the pending→running
+// transition; Cancel can win any race by settling terminal first.
+func (r *Registry) drive(ctx context.Context, j *Job, run RunFunc) {
+	select {
+	case r.sem <- struct{}{}:
+		defer func() { <-r.sem }()
+	case <-ctx.Done():
+		j.settle(Canceled, nil)
+		return
+	}
+	if !j.toRunning() {
+		return // canceled while queued
+	}
+	out := runSafe(ctx, j, run)
+	switch {
+	case out.Err != nil && errors.Is(out.Err, context.Canceled):
+		j.settle(Canceled, out.Data)
+	case out.Err != nil:
+		data := out.Data
+		if data == nil {
+			data = map[string]string{}
+		}
+		data["error"] = out.Err.Error()
+		j.settle(Failed, data)
+	default:
+		j.settle(Done, out.Data)
+	}
+}
+
+// runSafe contains a panicking RunFunc: the job fails, the worker
+// slot frees, the process lives.
+func runSafe(ctx context.Context, j *Job, run RunFunc) (out Outcome) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			out = Outcome{Err: fmt.Errorf("job panicked: %v", rec)}
+		}
+	}()
+	return run(ctx, j)
+}
+
+// Get returns the job with the given ID.
+func (r *Registry) Get(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// Jobs returns a status snapshot of every retained job, newest first.
+func (r *Registry) Jobs() []Status {
+	r.mu.Lock()
+	ids := append([]string(nil), r.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for i := len(ids) - 1; i >= 0; i-- {
+		if j, ok := r.jobs[ids[i]]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	r.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Counts returns how many retained jobs sit in each state — the feed
+// behind the active-jobs and queue-depth gauges and /healthz.
+func (r *Registry) Counts() map[State]int {
+	r.mu.Lock()
+	jobs := make([]*Job, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		jobs = append(jobs, j)
+	}
+	r.mu.Unlock()
+	out := map[State]int{}
+	for _, j := range jobs {
+		j.mu.Lock()
+		out[j.state]++
+		j.mu.Unlock()
+	}
+	return out
+}
+
+// evictLocked trims the finished-job history to the ring bound,
+// oldest first. Live (pending/running) jobs are never evicted, so the
+// table holds at most history + active entries. Caller holds r.mu.
+func (r *Registry) evictLocked() {
+	finished := 0
+	for _, id := range r.order {
+		if j, ok := r.jobs[id]; ok && j.terminal() {
+			finished++
+		}
+	}
+	if finished <= r.history {
+		return
+	}
+	keep := r.order[:0]
+	for _, id := range r.order {
+		j, ok := r.jobs[id]
+		if !ok {
+			continue
+		}
+		if finished > r.history && j.terminal() {
+			delete(r.jobs, id)
+			finished--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	r.order = keep
+}
+
+// Job is one asynchronous execution: identity, lifecycle state, and
+// an append-only event log. All methods are safe for concurrent use.
+type Job struct {
+	ID      string
+	Spec    Spec
+	Created time.Time
+
+	reg    *Registry
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    State
+	started  time.Time
+	finished time.Time
+	result   map[string]string // terminal event data (etag, tier, ...)
+	events   []Event
+	notify   chan struct{} // closed and replaced on every append (broadcast)
+
+	// The buffered progress channel feeding the log: Emit posts here
+	// from the work's goroutines; collect drains into events. closed
+	// guards the send-after-close race on cancel.
+	progress chan Event
+	closed   bool
+	feedMu   sync.RWMutex
+	drained  chan struct{} // closed when collect exits
+}
+
+// Emit posts one progress event from the job's work. Events are
+// dropped once the job is terminal (a canceled job's detached run
+// keeps computing; its stragglers go nowhere).
+func (j *Job) Emit(typ string, data map[string]string) {
+	j.post(Event{Type: typ, Data: data})
+}
+
+// post sends into the progress channel unless the feed is closed.
+func (j *Job) post(ev Event) {
+	j.feedMu.RLock()
+	defer j.feedMu.RUnlock()
+	if j.closed {
+		return
+	}
+	j.progress <- ev
+}
+
+// closeFeed closes the progress channel exactly once. Waits out
+// in-flight posts via the feed lock, so it never races a send.
+func (j *Job) closeFeed() {
+	j.feedMu.Lock()
+	defer j.feedMu.Unlock()
+	if !j.closed {
+		j.closed = true
+		close(j.progress)
+	}
+}
+
+// collect is the job's single consumer: it drains the progress
+// channel, stamps sequence numbers and times, appends to the log, and
+// wakes subscribers. Once a terminal event lands, later stragglers
+// (posted concurrently with a cancel) are discarded.
+func (j *Job) collect() {
+	defer close(j.drained)
+	terminal := false
+	for ev := range j.progress {
+		if terminal {
+			continue
+		}
+		j.mu.Lock()
+		ev.Seq = len(j.events)
+		ev.Time = time.Now()
+		j.events = append(j.events, ev)
+		close(j.notify)
+		j.notify = make(chan struct{})
+		j.mu.Unlock()
+		j.reg.m.Events.Inc()
+		terminal = ev.Terminal()
+	}
+}
+
+// toRunning moves pending→running, posting the transition event.
+// False when the job settled (canceled) first.
+func (j *Job) toRunning() bool {
+	j.mu.Lock()
+	if j.state != Pending {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = Running
+	j.started = time.Now()
+	j.mu.Unlock()
+	j.post(Event{Type: EventState, Data: map[string]string{"state": string(Running)}})
+	return true
+}
+
+// settle moves the job to a terminal state exactly once: the first
+// caller wins (Cancel racing a finishing run, or vice versa), posts
+// the terminal event, and closes the feed. Later calls no-op.
+func (j *Job) settle(st State, data map[string]string) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = st
+	j.finished = time.Now()
+	j.result = data
+	j.mu.Unlock()
+	j.post(Event{Type: string(st), Data: data})
+	j.closeFeed()
+	switch st {
+	case Done:
+		j.reg.m.Done.Inc()
+	case Failed:
+		j.reg.m.Failed.Inc()
+	case Canceled:
+		j.reg.m.Canceled.Inc()
+	}
+}
+
+// Cancel ends the job promptly in any state: a pending job never
+// runs, a running job transitions to canceled now and its work is
+// detached (the context handed to RunFunc is canceled; a run that
+// ignores it finishes into the void). Idempotent.
+func (j *Job) Cancel() {
+	j.cancel()
+	j.settle(Canceled, map[string]string{"reason": "canceled by request"})
+}
+
+// terminal reports whether the job has settled.
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal()
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// EventsSince returns a copy of the log entries with Seq >= n, plus a
+// channel closed on the next append — the subscription primitive. A
+// consumer loops: replay the slice, then wait on the channel (or its
+// own cancellation). No events are ever dropped for a reader, however
+// slow: the log is the source, not a queue.
+func (j *Job) EventsSince(n int) ([]Event, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var evs []Event
+	if n < 0 {
+		n = 0
+	}
+	if n < len(j.events) {
+		evs = append(evs, j.events[n:]...)
+	}
+	return evs, j.notify
+}
+
+// WaitSettled blocks until the job's terminal event is in the log (so
+// subscribers are guaranteed to observe it) or the context ends.
+func (j *Job) WaitSettled(ctx context.Context) error {
+	n := 0
+	for {
+		evs, changed := j.EventsSince(n)
+		for _, ev := range evs {
+			if ev.Terminal() {
+				return nil
+			}
+			n = ev.Seq + 1
+		}
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Status is the JSON-ready snapshot of one job.
+type Status struct {
+	ID             string            `json:"id"`
+	Experiment     string            `json:"experiment"`
+	Scale          string            `json:"scale"`
+	Platform       string            `json:"platform,omitempty"`
+	State          State             `json:"state"`
+	Created        time.Time         `json:"created"`
+	Started        *time.Time        `json:"started,omitempty"`
+	Finished       *time.Time        `json:"finished,omitempty"`
+	ElapsedSeconds float64           `json:"elapsed_seconds,omitempty"` // running→now or started→finished
+	Events         int               `json:"events"`
+	Result         map[string]string `json:"result,omitempty"` // terminal event data: etag, tier, ...
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:         j.ID,
+		Experiment: j.Spec.Experiment,
+		Scale:      j.Spec.Scale,
+		Platform:   j.Spec.Platform,
+		State:      j.state,
+		Created:    j.Created,
+		Events:     len(j.events),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+		switch {
+		case !j.finished.IsZero():
+			st.ElapsedSeconds = j.finished.Sub(j.started).Seconds()
+		default:
+			st.ElapsedSeconds = time.Since(j.started).Seconds()
+		}
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.result != nil {
+		st.Result = j.result
+	}
+	return st
+}

@@ -1,0 +1,334 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// wait bounds every blocking assertion so a broken transition fails
+// the test instead of hanging it.
+const wait = 5 * time.Second
+
+func settled(t *testing.T, j *Job) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	if err := j.WaitSettled(ctx); err != nil {
+		t.Fatalf("job %s never settled (state %s): %v", j.ID, j.State(), err)
+	}
+}
+
+func TestDoneLifecycle(t *testing.T) {
+	r := New(1, 4)
+	j := r.Submit(Spec{Experiment: "T1", Scale: "quick"}, func(ctx context.Context, j *Job) Outcome {
+		j.Emit(EventPhase, map[string]string{"name": "measure/ladder", "state": "start"})
+		j.Emit(EventSection, map[string]string{"title": "ladder", "kind": "table"})
+		return Outcome{Data: map[string]string{"etag": `"abc"`, "tier": "run"}}
+	})
+	settled(t, j)
+
+	if got := j.State(); got != Done {
+		t.Fatalf("state = %s, want done", got)
+	}
+	evs, _ := j.EventsSince(0)
+	types := make([]string, len(evs))
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Errorf("event %d has seq %d — log must be dense and ordered", i, ev.Seq)
+		}
+		types[i] = ev.Type
+	}
+	want := []string{EventState, EventState, EventPhase, EventSection, string(Done)}
+	if fmt.Sprint(types) != fmt.Sprint(want) {
+		t.Errorf("event types = %v, want %v", types, want)
+	}
+	last := evs[len(evs)-1]
+	if !last.Terminal() || last.Data["etag"] != `"abc"` {
+		t.Errorf("terminal event = %+v, want done with etag", last)
+	}
+
+	st := j.Status()
+	if st.State != Done || st.Events != len(evs) || st.Result["tier"] != "run" ||
+		st.Started == nil || st.Finished == nil {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestFailedLifecycle(t *testing.T) {
+	r := New(1, 4)
+	j := r.Submit(Spec{Experiment: "T1"}, func(ctx context.Context, j *Job) Outcome {
+		return Outcome{Err: errors.New("boom")}
+	})
+	settled(t, j)
+	if got := j.State(); got != Failed {
+		t.Fatalf("state = %s, want failed", got)
+	}
+	evs, _ := j.EventsSince(0)
+	last := evs[len(evs)-1]
+	if last.Type != string(Failed) || last.Data["error"] != "boom" {
+		t.Errorf("terminal event = %+v, want failed with error", last)
+	}
+}
+
+func TestPanickingRunFails(t *testing.T) {
+	r := New(1, 4)
+	j := r.Submit(Spec{Experiment: "T1"}, func(ctx context.Context, j *Job) Outcome {
+		panic("kaboom")
+	})
+	settled(t, j)
+	if got := j.State(); got != Failed {
+		t.Fatalf("state after panic = %s, want failed", got)
+	}
+}
+
+// TestCancelMidRun: canceling a running job via its request context
+// transitions it promptly even though the work is still going, and
+// events the detached work emits afterwards are discarded.
+func TestCancelMidRun(t *testing.T) {
+	running := make(chan struct{})
+	release := make(chan struct{})
+	straggled := make(chan struct{})
+	r := New(1, 4)
+	j := r.Submit(Spec{Experiment: "M1"}, func(ctx context.Context, j *Job) Outcome {
+		close(running)
+		<-release
+		j.Emit(EventPhase, map[string]string{"name": "late"}) // after cancel: dropped
+		close(straggled)
+		return Outcome{Data: map[string]string{"etag": `"late"`}}
+	})
+	<-running
+	j.Cancel()
+	settled(t, j)
+	if got := j.State(); got != Canceled {
+		t.Fatalf("state = %s, want canceled", got)
+	}
+	close(release)
+	<-straggled
+	// The detached run's outcome and stragglers must not reach the log.
+	time.Sleep(20 * time.Millisecond)
+	evs, _ := j.EventsSince(0)
+	last := evs[len(evs)-1]
+	if last.Type != string(Canceled) {
+		t.Fatalf("last event = %+v, want canceled terminal", last)
+	}
+	for _, ev := range evs {
+		if ev.Type == EventPhase && ev.Data["name"] == "late" {
+			t.Errorf("straggler event reached the log: %+v", ev)
+		}
+	}
+	if st := j.Status(); st.Result["etag"] == `"late"` {
+		t.Errorf("detached outcome overwrote the canceled result: %+v", st)
+	}
+}
+
+// TestCancelPending: with the single worker slot occupied, a queued
+// job cancels without ever running.
+func TestCancelPending(t *testing.T) {
+	block := make(chan struct{})
+	r := New(1, 4)
+	first := r.Submit(Spec{Experiment: "T1"}, func(ctx context.Context, j *Job) Outcome {
+		<-block
+		return Outcome{}
+	})
+	ran := false
+	second := r.Submit(Spec{Experiment: "T4"}, func(ctx context.Context, j *Job) Outcome {
+		ran = true
+		return Outcome{}
+	})
+	if got := second.State(); got != Pending {
+		t.Fatalf("queued job state = %s, want pending", got)
+	}
+	second.Cancel()
+	settled(t, second)
+	if got := second.State(); got != Canceled {
+		t.Fatalf("state = %s, want canceled", got)
+	}
+	close(block)
+	settled(t, first)
+	if ran {
+		t.Error("canceled pending job ran anyway")
+	}
+}
+
+// TestCanceledContextOutcome: a RunFunc that honors its context and
+// returns ctx.Err() yields a canceled job, not a failed one.
+func TestCanceledContextOutcome(t *testing.T) {
+	running := make(chan struct{})
+	r := New(1, 4)
+	j := r.Submit(Spec{Experiment: "M1"}, func(ctx context.Context, j *Job) Outcome {
+		close(running)
+		<-ctx.Done()
+		return Outcome{Err: ctx.Err()}
+	})
+	<-running
+	j.cancel() // cancel only the context — the run itself reports it
+	settled(t, j)
+	if got := j.State(); got != Canceled {
+		t.Fatalf("state = %s, want canceled", got)
+	}
+}
+
+// TestQueueDepth: jobs beyond the worker count sit pending; Counts
+// tracks the queue and drains as slots free.
+func TestQueueDepth(t *testing.T) {
+	block := make(chan struct{})
+	r := New(2, 8)
+	started := make(chan struct{}, 8)
+	var js []*Job
+	for i := 0; i < 5; i++ {
+		js = append(js, r.Submit(Spec{Experiment: "T1"}, func(ctx context.Context, j *Job) Outcome {
+			started <- struct{}{}
+			<-block
+			return Outcome{}
+		}))
+	}
+	<-started
+	<-started
+	deadline := time.Now().Add(wait)
+	for {
+		c := r.Counts()
+		if c[Running] == 2 && c[Pending] == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counts never reached 2 running / 3 pending: %v", c)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	for _, j := range js {
+		settled(t, j)
+	}
+	if c := r.Counts(); c[Done] != 5 || c[Running] != 0 || c[Pending] != 0 {
+		t.Errorf("final counts = %v, want 5 done", c)
+	}
+}
+
+// TestHistoryRing: finished jobs beyond the history bound are evicted
+// oldest-first; live jobs survive eviction.
+func TestHistoryRing(t *testing.T) {
+	r := New(1, 2)
+	var finished []*Job
+	for i := 0; i < 4; i++ {
+		j := r.Submit(Spec{Experiment: fmt.Sprintf("T%d", i)}, func(ctx context.Context, j *Job) Outcome {
+			return Outcome{}
+		})
+		settled(t, j)
+		finished = append(finished, j)
+	}
+	// One more submission triggers the eviction scan over 4 finished.
+	block := make(chan struct{})
+	live := r.Submit(Spec{Experiment: "M1"}, func(ctx context.Context, j *Job) Outcome {
+		<-block
+		return Outcome{}
+	})
+	if _, ok := r.Get(finished[0].ID); ok {
+		t.Error("oldest finished job survived eviction")
+	}
+	if _, ok := r.Get(finished[3].ID); !ok {
+		t.Error("newest finished job was evicted")
+	}
+	if _, ok := r.Get(live.ID); !ok {
+		t.Error("live job missing from the registry")
+	}
+	if got := len(r.Jobs()); got > 4 {
+		t.Errorf("listing has %d jobs, want at most history+live", got)
+	}
+	close(block)
+	settled(t, live)
+}
+
+// TestSubscribeReplayAndLive: a subscriber that arrives late replays
+// the full log; one that arrives mid-run sees the tail live; resuming
+// from a seq skips what was already consumed.
+func TestSubscribeReplayAndLive(t *testing.T) {
+	step := make(chan struct{})
+	r := New(1, 4)
+	j := r.Submit(Spec{Experiment: "M1"}, func(ctx context.Context, j *Job) Outcome {
+		for i := 0; i < 3; i++ {
+			<-step
+			j.Emit(EventPhase, map[string]string{"name": fmt.Sprintf("p%d", i)})
+		}
+		return Outcome{}
+	})
+
+	// Live consumer: collects everything as it lands.
+	var got []Event
+	seq := 0
+	consume := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), wait)
+		defer cancel()
+		for {
+			evs, changed := j.EventsSince(seq)
+			for _, ev := range evs {
+				got = append(got, ev)
+				seq = ev.Seq + 1
+				if ev.Terminal() {
+					return
+				}
+			}
+			select {
+			case <-changed:
+			case <-ctx.Done():
+				t.Fatalf("consumer timed out at seq %d", seq)
+			}
+		}
+	}
+	go func() {
+		for i := 0; i < 3; i++ {
+			step <- struct{}{}
+		}
+	}()
+	consume()
+	if !got[len(got)-1].Terminal() {
+		t.Fatalf("live consumer missed the terminal event: %+v", got)
+	}
+
+	// Late replay: the whole log at once, terminal included.
+	evs, _ := j.EventsSince(0)
+	if len(evs) != len(got) {
+		t.Errorf("replay has %d events, live consumer saw %d", len(evs), len(got))
+	}
+	// Resume from the middle.
+	tail, _ := j.EventsSince(3)
+	if len(tail) != len(evs)-3 || tail[0].Seq != 3 {
+		t.Errorf("resume from seq 3: %+v", tail)
+	}
+}
+
+// TestConcurrentEmitters: many goroutines emitting through one job's
+// buffered progress channel produce a dense, ordered log (run with
+// -race in CI).
+func TestConcurrentEmitters(t *testing.T) {
+	const emitters, each = 8, 50
+	r := New(1, 4)
+	j := r.Submit(Spec{Experiment: "M1"}, func(ctx context.Context, j *Job) Outcome {
+		var wg sync.WaitGroup
+		for e := 0; e < emitters; e++ {
+			wg.Add(1)
+			go func(e int) {
+				defer wg.Done()
+				for i := 0; i < each; i++ {
+					j.Emit(EventPhase, map[string]string{"name": fmt.Sprintf("w%d/%d", e, i)})
+				}
+			}(e)
+		}
+		wg.Wait()
+		return Outcome{}
+	})
+	settled(t, j)
+	evs, _ := j.EventsSince(0)
+	// pending + running + emitted + done
+	if want := emitters*each + 3; len(evs) != want {
+		t.Fatalf("log has %d events, want %d", len(evs), want)
+	}
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Fatalf("seq %d at index %d — log not dense", ev.Seq, i)
+		}
+	}
+}

@@ -29,8 +29,58 @@ type Span struct {
 	Elapsed  float64           `json:"elapsed_seconds"`
 	Children []*Span           `json:"children,omitempty"`
 
-	mu    sync.Mutex
-	ended bool
+	mu       sync.Mutex
+	ended    bool
+	observer SpanObserver
+}
+
+// SpanObserver receives live notifications as a span tree is built —
+// the bridge between the tracer and anything that wants progress
+// events while a run is still going (the async job event stream).
+// Callbacks fire outside the span's lock, from the goroutine driving
+// the span, and must be safe for concurrent use when the tree has
+// concurrent children.
+type SpanObserver interface {
+	// SpanStarted fires when a child span is opened under an observed
+	// span (not for the root the observer was attached to — the caller
+	// already knows that one started).
+	SpanStarted(*Span)
+	// SpanEnded fires on the first End of any observed span, root
+	// included.
+	SpanEnded(*Span)
+}
+
+// ObserverFuncs adapts two optional funcs to SpanObserver; nil fields
+// are skipped.
+type ObserverFuncs struct {
+	Started func(*Span)
+	Ended   func(*Span)
+}
+
+// SpanStarted implements SpanObserver.
+func (o ObserverFuncs) SpanStarted(s *Span) {
+	if o.Started != nil {
+		o.Started(s)
+	}
+}
+
+// SpanEnded implements SpanObserver.
+func (o ObserverFuncs) SpanEnded(s *Span) {
+	if o.Ended != nil {
+		o.Ended(s)
+	}
+}
+
+// Observe attaches an observer to the span. Children opened after the
+// call inherit it, so observing a run's root span streams the whole
+// tree as it grows. Nil-safe on both sides.
+func (s *Span) Observe(o SpanObserver) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.observer = o
+	s.mu.Unlock()
 }
 
 // StartSpan opens a root span named name, started now.
@@ -48,8 +98,13 @@ func (s *Span) StartChild(name string) *Span {
 	}
 	c := &Span{Name: name, Start: time.Now()}
 	s.mu.Lock()
+	c.observer = s.observer
 	s.Children = append(s.Children, c)
+	o := s.observer
 	s.mu.Unlock()
+	if o != nil {
+		o.SpanStarted(c)
+	}
 	return c
 }
 
@@ -74,11 +129,16 @@ func (s *Span) End() {
 		return
 	}
 	s.mu.Lock()
+	var o SpanObserver
 	if !s.ended {
 		s.ended = true
 		s.Elapsed = time.Since(s.Start).Seconds()
+		o = s.observer
 	}
 	s.mu.Unlock()
+	if o != nil {
+		o.SpanEnded(s)
+	}
 }
 
 // Duration returns the span's elapsed time (zero until End).

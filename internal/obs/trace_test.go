@@ -2,7 +2,10 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -142,5 +145,130 @@ func TestNewRequestID(t *testing.T) {
 	}
 	if len(a) != 16 {
 		t.Errorf("request ID %q has length %d, want 16", a, len(a))
+	}
+}
+
+// TestTraceBufferConcurrentWrap hammers a ring smaller than the writer
+// count so every Add races an eviction (run with -race in CI): the
+// buffer must stay consistent — exactly capacity traces retained, all
+// of them traces that were actually added, newest-first de-duplicated.
+func TestTraceBufferConcurrentWrap(t *testing.T) {
+	const writers, each, capacity = 8, 200, 3
+	b := NewTraceBuffer(capacity)
+	valid := make(map[string]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s := StartSpan(fmt.Sprintf("w%d/%d", w, i))
+				s.End()
+				mu.Lock()
+				valid[s.Name] = true
+				mu.Unlock()
+				b.Add(s)
+				// Readers race the wrap-around too.
+				if got := b.Recent(0); len(got) > capacity {
+					t.Errorf("Recent returned %d traces, capacity %d", len(got), capacity)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := b.Recent(0)
+	if len(got) != capacity {
+		t.Fatalf("retained %d traces after wrap, want %d", len(got), capacity)
+	}
+	seen := map[string]bool{}
+	for _, s := range got {
+		if s == nil || !valid[s.Name] {
+			t.Fatalf("ring holds a trace that was never added: %+v", s)
+		}
+		if seen[s.Name] {
+			t.Errorf("trace %q retained twice", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+// TestSpanObserver pins the observer contract: children inherit the
+// observer and fire Started on open; every observed span fires Ended
+// exactly once (repeat Ends are swallowed with the duration); the
+// root the observer was attached to fires Ended but not Started.
+func TestSpanObserver(t *testing.T) {
+	var started, ended []string
+	root := StartSpan("run")
+	root.Observe(ObserverFuncs{
+		Started: func(s *Span) { started = append(started, s.Name) },
+		Ended:   func(s *Span) { ended = append(ended, s.Name) },
+	})
+	a := root.StartChild("a")
+	aa := a.StartChild("a/a")
+	aa.End()
+	aa.End() // second End: no duplicate callback
+	a.End()
+	b := root.StartChild("b")
+	b.End()
+	root.End()
+
+	if want := "[a a/a b]"; fmt.Sprint(started) != want {
+		t.Errorf("started = %v, want %v (root not included)", started, want)
+	}
+	if want := "[a/a a b run]"; fmt.Sprint(ended) != want {
+		t.Errorf("ended = %v, want %v", ended, want)
+	}
+}
+
+// TestSpanObserverNilSafe: attaching to a nil span, attaching nil, and
+// zero ObserverFuncs are all inert.
+func TestSpanObserverNilSafe(t *testing.T) {
+	var nilSpan *Span
+	nilSpan.Observe(ObserverFuncs{}) // no panic
+	s := StartSpan("x")
+	s.Observe(nil)
+	s.StartChild("c").End()
+	s.End()
+	s2 := StartSpan("y")
+	s2.Observe(ObserverFuncs{}) // nil fields skipped
+	s2.StartChild("c").End()
+	s2.End()
+}
+
+// TestSpanObserverConcurrentChildren: callbacks fire outside the
+// span's lock, so concurrent children observing into a shared sink
+// must not deadlock or race (run with -race in CI).
+func TestSpanObserverConcurrentChildren(t *testing.T) {
+	var events atomic.Int64
+	root := StartSpan("run")
+	root.Observe(ObserverFuncs{
+		Started: func(s *Span) { events.Add(1) },
+		Ended: func(s *Span) {
+			// Re-entering the tree from a callback (as the SSE hook
+			// layer does when it marshals the span) must be safe.
+			_, _ = json.Marshal(s)
+			events.Add(1)
+		},
+	})
+	const workers, spansEach = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < spansEach; i++ {
+				c := root.StartChild(fmt.Sprintf("w%d/%d", w, i))
+				c.SetAttr("i", fmt.Sprint(i))
+				c.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	// workers*spansEach starts + the same ends + the root's end.
+	if want := int64(2*workers*spansEach + 1); events.Load() != want {
+		t.Errorf("observer fired %d times, want %d", events.Load(), want)
 	}
 }

@@ -93,9 +93,10 @@ func writeCSVRow(w io.Writer, cells []string) error {
 // every table/figure rendered through this package. Not safe for
 // concurrent use; each experiment run gets its own Recorder.
 type Recorder struct {
-	buf  bytes.Buffer
-	doc  Document
-	span *obs.Span // active run span; see timing.go
+	buf       bytes.Buffer
+	doc       Document
+	span      *obs.Span     // active run span; see timing.go
+	onSection func(Section) // live tee; see SetSectionHook
 }
 
 // NewRecorder returns an empty Recorder.
@@ -104,10 +105,21 @@ func NewRecorder() *Recorder { return &Recorder{} }
 // Write appends to the text capture.
 func (r *Recorder) Write(p []byte) (int, error) { return r.buf.Write(p) }
 
-// WriteSection appends a structured section (implements SectionWriter).
+// WriteSection appends a structured section (implements SectionWriter)
+// and tees it to the section hook, if one is set.
 func (r *Recorder) WriteSection(s Section) {
 	r.doc.Sections = append(r.doc.Sections, s)
+	if r.onSection != nil {
+		r.onSection(s)
+	}
 }
+
+// SetSectionHook installs a live tee: fn is invoked with each section
+// as the experiment renders it, while the run is still going — the
+// feed behind streamed per-section progress events. The captured
+// Document is unaffected; like the span (timing.go), the hook lives
+// beside the recorded output, never in it.
+func (r *Recorder) SetSectionHook(fn func(Section)) { r.onSection = fn }
 
 // Text returns the captured text output.
 func (r *Recorder) Text() string { return r.buf.String() }

@@ -1,0 +1,277 @@
+// The async run surface: POST /runs submits an experiment execution
+// as a job and returns 202 immediately; GET /runs/{job}/events streams
+// its progress as Server-Sent Events while the run is still going.
+//
+// Event sources are the instrumentation the run already produces:
+// core.Run's span tree emits a "phase" event as each probe phase or
+// per-platform pass opens and closes, and report.Recorder's section
+// tee emits a "section" event as each table/figure completes. The
+// terminal event carries the result's strong ETags, so a client hands
+// off to the (now cached) synchronous GET /experiments/{id} — async
+// jobs fill the same single-flight memory/disk cache path as blocking
+// requests, so a job and a GET for the same (id, scale, platform)
+// coalesce into one execution.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// ctSSE is the Server-Sent Events content type.
+const ctSSE = "text/event-stream"
+
+// JobRegistry exposes the server's job table, so embedding binaries
+// can inspect or submit jobs without going through HTTP.
+func (s *Server) JobRegistry() *jobs.Registry { return s.jobs }
+
+// submitResponse is the 202 body for POST /runs.
+type submitResponse struct {
+	Job       string `json:"job"`
+	State     string `json:"state"`
+	StatusURL string `json:"status_url"`
+	EventsURL string `json:"events_url"`
+}
+
+// handleSubmitRun validates the request exactly like the blocking GET
+// (unknown ID 404, bad scale/platform 400, over-limit scale 403 —
+// nothing is accepted that could never run), then submits the job and
+// answers 202 with its ID and URLs.
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	id := r.FormValue("id")
+	e, ok := core.Get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusNotFound)
+		return
+	}
+	req := core.Request{Scale: core.Quick}
+	switch v := r.FormValue("scale"); v {
+	case "", "quick":
+	case "full":
+		req.Scale = core.Full
+	default:
+		http.Error(w, fmt.Sprintf("unknown scale %q (want quick or full)", v), http.StatusBadRequest)
+		return
+	}
+	if req.Scale > s.cfg.ScaleLimit {
+		http.Error(w, fmt.Sprintf("scale %s disabled on this server (limit %s)", req.Scale, s.cfg.ScaleLimit), http.StatusForbidden)
+		return
+	}
+	req.Platform = r.FormValue("platform")
+	if err := e.CheckPlatform(req.Platform); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	j := s.jobs.Submit(
+		jobs.Spec{Experiment: e.ID, Scale: req.Scale.String(), Platform: req.Platform},
+		func(ctx context.Context, j *jobs.Job) jobs.Outcome {
+			return s.runJob(ctx, j, e, req)
+		})
+
+	w.Header().Set("Content-Type", ctJSON)
+	w.Header().Set("Location", "/runs/"+j.ID)
+	w.WriteHeader(http.StatusAccepted)
+	b, _ := json.Marshal(submitResponse{
+		Job:       j.ID,
+		State:     string(j.State()),
+		StatusURL: "/runs/" + j.ID,
+		EventsURL: "/runs/" + j.ID + "/events",
+	})
+	w.Write(append(b, '\n'))
+}
+
+// runJob executes one job's experiment through the shared results
+// cache: the fill coalesces with blocking requests and warm-up via
+// single-flight, loads from the disk store when warm there, and
+// writes fresh runs through — an async job leaves the cache exactly
+// as a synchronous GET would, and the result bytes/ETags are
+// byte-identical to the blocking path's. Only a fill this job owns
+// produces live phase/section events; a coalesced wait on someone
+// else's fill yields just the terminal event (tier "mem").
+//
+// Cancellation is checked at the edges: the shared fill itself is
+// never abandoned (another waiter may need it), so a cancel mid-run
+// detaches the job while the run completes into the cache.
+func (s *Server) runJob(ctx context.Context, j *jobs.Job, e core.Experiment, req core.Request) jobs.Outcome {
+	if err := ctx.Err(); err != nil {
+		return jobs.Outcome{Err: err}
+	}
+	tier := "run"
+	ent, hit, err := s.cache.get(key{e.ID, req}, func() (map[string]rep, time.Duration, error) {
+		reps, elapsed, t, err := s.fill(e, req, jobHooks(j))
+		tier = t
+		return reps, elapsed, err
+	})
+	if hit {
+		tier = "mem"
+		s.m.memHits.Inc()
+	}
+	if err != nil {
+		return jobs.Outcome{Err: err}
+	}
+	if err := ctx.Err(); err != nil {
+		// Canceled mid-run: the result is cached for the next caller,
+		// but this job ends canceled, not done.
+		return jobs.Outcome{Err: err}
+	}
+	return jobs.Outcome{Data: map[string]string{
+		"etag":            ent.reps[ctText].etag,
+		"etag_csv":        ent.reps[ctCSV].etag,
+		"etag_json":       ent.reps[ctJSON].etag,
+		"elapsed_seconds": fmt.Sprintf("%.6f", ent.elapsed.Seconds()),
+		"tier":            tier,
+		"url":             "/experiments/" + e.ID + "?scale=" + req.Scale.String() + platformQuery(req),
+	}}
+}
+
+// platformQuery renders the ?platform= suffix for a request's
+// hand-off URL.
+func platformQuery(req core.Request) string {
+	if req.Platform == "" {
+		return ""
+	}
+	return "&platform=" + req.Platform
+}
+
+// handleJobList serves the status of every retained job, newest
+// first, as a JSON array.
+func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	list := s.jobs.Jobs()
+	if list == nil {
+		list = []jobs.Status{}
+	}
+	b, err := json.Marshal(list)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ctJSON)
+	w.Write(append(b, '\n'))
+}
+
+// jobFor resolves the {job} path value, answering the 404 itself.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	j, ok := s.jobs.Get(r.PathValue("job"))
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown job %q", r.PathValue("job")), http.StatusNotFound)
+	}
+	return j, ok
+}
+
+// handleJobGet serves one job's status: state, timing, platform, and
+// — once terminal — the result data (ETags, cache tier).
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	b, err := json.Marshal(j.Status())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ctJSON)
+	w.Write(append(b, '\n'))
+}
+
+// handleJobCancel cancels a job (prompt in any state; see
+// jobs.Job.Cancel) and returns its settled status.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	b, _ := json.Marshal(j.Status())
+	w.Header().Set("Content-Type", ctJSON)
+	w.Write(append(b, '\n'))
+}
+
+// handleJobEvents streams a job's event log as Server-Sent Events:
+// every logged event is replayed first (so a subscriber arriving
+// after completion still gets the full, ordered stream), then live
+// events as they land, ending with the terminal event. The event seq
+// is the SSE event ID; a reconnecting client resumes where it left
+// off via the standard Last-Event-ID header.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	from := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			from = n + 1
+		}
+	}
+	w.Header().Set("Content-Type", ctSSE)
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		evs, changed := j.EventsSince(from)
+		for _, ev := range evs {
+			from = ev.Seq + 1
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, b)
+			if ev.Terminal() {
+				fl.Flush()
+				return
+			}
+		}
+		fl.Flush()
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// jobHooks builds the RunHooks that turn one run's instrumentation
+// into the owning job's progress events: span transitions become
+// "phase" events, completed report sections become "section" events,
+// and the run's trace is stamped with the job ID so /debug/traces
+// ties back to /runs/{id}.
+func jobHooks(j *jobs.Job) core.RunHooks {
+	return core.RunHooks{
+		SpanAttrs: map[string]string{"job": j.ID},
+		Section: func(sec report.Section) {
+			j.Emit(jobs.EventSection, map[string]string{
+				"title": sec.Title,
+				"kind":  sec.Kind,
+				"rows":  strconv.Itoa(len(sec.Rows)),
+			})
+		},
+		SpanStarted: func(sp *obs.Span) {
+			j.Emit(jobs.EventPhase, map[string]string{
+				"name": sp.Name, "state": "start",
+			})
+		},
+		SpanEnded: func(sp *obs.Span) {
+			j.Emit(jobs.EventPhase, map[string]string{
+				"name":            sp.Name,
+				"state":           "end",
+				"elapsed_seconds": fmt.Sprintf("%.6f", sp.Duration().Seconds()),
+			})
+		},
+	}
+}

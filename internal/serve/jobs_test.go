@@ -1,0 +1,375 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+)
+
+// submitJob POSTs /runs with the given query and decodes the 202 body.
+func submitJob(t *testing.T, base, query string) submitResponse {
+	t.Helper()
+	resp, err := http.Post(base+"/runs?"+query, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /runs?%s: %d, want 202", query, resp.StatusCode)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Job == "" || sub.EventsURL != "/runs/"+sub.Job+"/events" {
+		t.Fatalf("submit response = %+v", sub)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/runs/"+sub.Job {
+		t.Errorf("Location = %q, want /runs/%s", loc, sub.Job)
+	}
+	return sub
+}
+
+// sseEvent is one parsed Server-Sent Event frame.
+type sseEvent struct {
+	ID    int
+	Event string
+	Data  jobs.Event
+}
+
+// drainSSE reads the events stream until its terminal event (the
+// server closes the stream after it) and returns every frame in order.
+// lastEventID, when non-empty, resumes via the standard header.
+func drainSSE(t *testing.T, url, lastEventID string) []sseEvent {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ctSSE {
+		t.Fatalf("events content type = %q, want %q", ct, ctSSE)
+	}
+	var (
+		out []sseEvent
+		cur sseEvent
+	)
+	cur.ID = -1
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.Event != "" {
+				out = append(out, cur)
+			}
+			cur = sseEvent{ID: -1}
+		case strings.HasPrefix(line, "id: "):
+			fmt.Sscanf(line, "id: %d", &cur.ID)
+		case strings.HasPrefix(line, "event: "):
+			cur.Event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.Data); err != nil {
+				t.Fatalf("bad data line %q: %v", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestJobStreamRealRun drives the whole async contract against a real
+// experiment execution: POST /runs, drain the SSE stream, and verify
+// it is ordered, carries live phase and section events from the run's
+// own instrumentation, and ends with a terminal event whose ETag is
+// exactly what the blocking GET serves (304 on If-None-Match) — the
+// job filled the same cache the synchronous path reads.
+func TestJobStreamRealRun(t *testing.T) {
+	ts := newTestServer(t, Config{}) // nil RunFunc: real runs with hooks
+	sub := submitJob(t, ts.URL, "id=T1")
+
+	evs := drainSSE(t, ts.URL+sub.EventsURL, "")
+	if len(evs) < 4 {
+		t.Fatalf("stream has %d events, want at least pending/running/phase/terminal: %+v", len(evs), evs)
+	}
+	phases, sections := 0, 0
+	for i, ev := range evs {
+		if ev.ID != i || ev.Data.Seq != i {
+			t.Errorf("event %d: id=%d seq=%d — stream must be dense and ordered", i, ev.ID, ev.Data.Seq)
+		}
+		switch ev.Event {
+		case jobs.EventPhase:
+			phases++
+		case jobs.EventSection:
+			sections++
+		}
+	}
+	if phases < 1 || sections < 1 {
+		t.Errorf("stream carried %d phase and %d section events, want >=1 of each", phases, sections)
+	}
+	last := evs[len(evs)-1]
+	if last.Event != string(jobs.Done) || !last.Data.Terminal() {
+		t.Fatalf("last event = %+v, want done terminal", last)
+	}
+	if last.Data.Data["tier"] != "run" {
+		t.Errorf("terminal tier = %q, want run", last.Data.Data["tier"])
+	}
+	etag := last.Data.Data["etag"]
+	if etag == "" {
+		t.Fatal("terminal event has no etag")
+	}
+
+	// Hand-off: the blocking GET serves the job's cached result.
+	resp, body := doGet(t, ts.URL+last.Data.Data["url"], "", "")
+	if resp.StatusCode != 200 || resp.Header.Get("ETag") != etag {
+		t.Fatalf("handoff GET: %d etag=%q, want 200 with %q", resp.StatusCode, resp.Header.Get("ETag"), etag)
+	}
+	if !strings.Contains(body, "ib-8n") {
+		t.Errorf("handoff body is not the real T1 output: %q", body[:min(len(body), 80)])
+	}
+	if resp, _ := doGet(t, ts.URL+last.Data.Data["url"], "", etag); resp.StatusCode != http.StatusNotModified {
+		t.Errorf("If-None-Match with job etag: %d, want 304", resp.StatusCode)
+	}
+
+	// Resuming mid-stream replays only the tail.
+	tail := drainSSE(t, ts.URL+sub.EventsURL, "1")
+	if len(tail) != len(evs)-2 || tail[0].ID != 2 {
+		t.Errorf("resume from id 1: got %d events starting at %d, want %d starting at 2",
+			len(tail), tail[0].ID, len(evs)-2)
+	}
+
+	// The run executed exactly once even though the job and the GET
+	// both wanted it.
+	if st := parseHealthz(t, ts.URL); st["runs"] != "1" || st["jobs_done"] != "1" {
+		t.Errorf("healthz after job+get = %v, want runs=1 jobs_done=1", st)
+	}
+}
+
+// parseHealthz splits the healthz line into its k=v tokens.
+func parseHealthz(t *testing.T, base string) map[string]string {
+	t.Helper()
+	_, body := doGet(t, base+"/healthz", "", "")
+	out := map[string]string{}
+	for _, tok := range strings.Fields(strings.TrimSpace(body)) {
+		if k, v, ok := strings.Cut(tok, "="); ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// TestJobCoalescesWithBlockingGet: a job for an already cached key is
+// answered from the memory tier without re-running.
+func TestJobCoalescesWithBlockingGet(t *testing.T) {
+	var runs atomic.Int32
+	ts := newTestServer(t, Config{RunFunc: stubRun(&runs, 0)})
+	doGet(t, ts.URL+"/experiments/T1", "", "") // warm the key
+
+	sub := submitJob(t, ts.URL, "id=T1")
+	evs := drainSSE(t, ts.URL+sub.EventsURL, "")
+	last := evs[len(evs)-1]
+	if last.Event != string(jobs.Done) || last.Data.Data["tier"] != "mem" {
+		t.Fatalf("terminal = %+v, want done from tier mem", last)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("experiment ran %d times, want 1 (job coalesced)", runs.Load())
+	}
+}
+
+// TestSubmitValidation: POST /runs rejects exactly what the blocking
+// GET rejects, with the same codes.
+func TestSubmitValidation(t *testing.T) {
+	var runs atomic.Int32
+	ts := newTestServer(t, Config{RunFunc: stubRun(&runs, 0)})
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{"id=NOPE", http.StatusNotFound},
+		{"id=T1&scale=medium", http.StatusBadRequest},
+		{"id=T1&scale=full", http.StatusForbidden}, // zero ScaleLimit = quick only
+		{"id=T1&platform=not-a-platform", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/runs?"+tc.query, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("POST /runs?%s = %d, want %d", tc.query, resp.StatusCode, tc.want)
+		}
+	}
+	if runs.Load() != 0 {
+		t.Errorf("rejected submissions ran %d experiments", runs.Load())
+	}
+}
+
+// TestJobListAndStatus: GET /runs lists newest first; GET /runs/{id}
+// serves one status; unknown IDs 404.
+func TestJobListAndStatus(t *testing.T) {
+	var runs atomic.Int32
+	ts := newTestServer(t, Config{RunFunc: stubRun(&runs, 0)})
+
+	resp, body := doGet(t, ts.URL+"/runs", "", "")
+	if resp.StatusCode != 200 || strings.TrimSpace(body) != "[]" {
+		t.Errorf("empty listing: %d %q, want 200 []", resp.StatusCode, body)
+	}
+
+	sub := submitJob(t, ts.URL, "id=T1")
+	drainSSE(t, ts.URL+sub.EventsURL, "")
+
+	resp, body = doGet(t, ts.URL+"/runs/"+sub.Job, "", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /runs/%s: %d %s", sub.Job, resp.StatusCode, body)
+	}
+	var st jobs.Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != sub.Job || st.State != jobs.Done || st.Experiment != "T1" ||
+		st.Scale != "quick" || st.Result["etag"] == "" {
+		t.Errorf("status = %+v", st)
+	}
+
+	_, body = doGet(t, ts.URL+"/runs", "", "")
+	var list []jobs.Status
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != sub.Job {
+		t.Errorf("listing = %+v", list)
+	}
+
+	if resp, _ := doGet(t, ts.URL+"/runs/nope", "", ""); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJobCancelViaDelete: DELETE /runs/{id} cancels a running job
+// promptly; the SSE stream ends with the canceled terminal event even
+// though the detached run never finishes.
+func TestJobCancelViaDelete(t *testing.T) {
+	block := make(chan struct{})
+	t.Cleanup(func() { close(block) })
+	running := make(chan struct{})
+	ts := newTestServer(t, Config{RunFunc: func(e core.Experiment, r core.Request) core.Result {
+		close(running)
+		<-block
+		return core.Result{}
+	}})
+	sub := submitJob(t, ts.URL, "id=T1")
+	<-running
+
+	req, _ := http.NewRequest("DELETE", ts.URL+"/runs/"+sub.Job, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || st.State != jobs.Canceled {
+		t.Fatalf("DELETE: %d state=%s, want 200 canceled", resp.StatusCode, st.State)
+	}
+
+	evs := drainSSE(t, ts.URL+sub.EventsURL, "")
+	if last := evs[len(evs)-1]; last.Event != string(jobs.Canceled) {
+		t.Errorf("last event = %+v, want canceled terminal", last)
+	}
+}
+
+// TestJobMetricsSurface: the job counters and gauges land on
+// GET /metrics under their documented names.
+func TestJobMetricsSurface(t *testing.T) {
+	var runs atomic.Int32
+	ts := newTestServer(t, Config{RunFunc: stubRun(&runs, 0)})
+	sub := submitJob(t, ts.URL, "id=T1")
+	drainSSE(t, ts.URL+sub.EventsURL, "")
+
+	_, body := doGet(t, ts.URL+"/metrics", "", "")
+	for _, want := range []string{
+		`charhpc_jobs_total{state="submitted"} 1`,
+		`charhpc_jobs_total{state="done"} 1`,
+		`charhpc_jobs_total{state="failed"} 0`,
+		`charhpc_jobs_total{state="canceled"} 0`,
+		`charhpc_jobs_active 0`,
+		`charhpc_jobs_queued 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// pending + running + done at minimum.
+	if !strings.Contains(body, "charhpc_job_events_total 3") {
+		t.Errorf("metrics missing charhpc_job_events_total 3:\n%s", grepMetrics(body, "job_events"))
+	}
+}
+
+// grepMetrics filters an exposition body to lines containing substr,
+// for failure messages.
+func grepMetrics(body, substr string) string {
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestJobQueueVisibility: with one worker slot held, a second job sits
+// pending and is visible on healthz and the queue gauge.
+func TestJobQueueVisibility(t *testing.T) {
+	block := make(chan struct{})
+	t.Cleanup(func() { close(block) })
+	started := make(chan struct{}, 2)
+	srvCfg := Config{Jobs: 1, RunFunc: func(e core.Experiment, r core.Request) core.Result {
+		started <- struct{}{}
+		<-block
+		return core.Result{}
+	}}
+	ts := newTestServer(t, srvCfg)
+	submitJob(t, ts.URL, "id=T1")
+	<-started
+	submitJob(t, ts.URL, "id=T4")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := parseHealthz(t, ts.URL)
+		if st["jobs_active"] == "1" && st["jobs_queued"] == "1" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never showed 1 active / 1 queued: %v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, body := doGet(t, ts.URL+"/metrics", "", "")
+	if !strings.Contains(body, "charhpc_jobs_active 1") || !strings.Contains(body, "charhpc_jobs_queued 1") {
+		t.Errorf("gauges:\n%s", grepMetrics(body, "charhpc_jobs_"))
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diskcache"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 )
 
@@ -39,6 +40,13 @@ type telemetry struct {
 	warmPlanned   *obs.Gauge // warm-up jobs planned (experiments × platforms, compatible)
 	warmCompleted *obs.Gauge // warm-up jobs resolved (loaded, run, or canceled)
 	warmRunning   *obs.Gauge // 1 while a Warm call is in flight
+
+	// Async job counters (POST /runs): submissions and terminal states.
+	jobsSubmitted *obs.Counter
+	jobsDone      *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsCanceled  *obs.Counter
+	jobEvents     *obs.Counter // progress events appended across all job logs
 }
 
 // newTelemetry registers the server's instruments on reg and, when a
@@ -63,6 +71,17 @@ func newTelemetry(reg *obs.Registry, store *diskcache.Store) *telemetry {
 		"warm-up jobs resolved: loaded from disk, executed, or canceled")
 	m.warmRunning = reg.Gauge("charhpc_warmup_running",
 		"1 while a warm-up pass is in flight")
+	jobState := func(st string) *obs.Counter {
+		return reg.Counter("charhpc_jobs_total",
+			"async run jobs by lifecycle edge (submitted) and terminal state (done, failed, canceled)",
+			obs.L("state", st))
+	}
+	m.jobsSubmitted = jobState("submitted")
+	m.jobsDone = jobState("done")
+	m.jobsFailed = jobState("failed")
+	m.jobsCanceled = jobState("canceled")
+	m.jobEvents = reg.Counter("charhpc_job_events_total",
+		"progress events appended across all job event logs")
 	if store != nil {
 		op := func(o string) *obs.Histogram {
 			return reg.Histogram("charhpc_diskcache_op_seconds",
@@ -98,6 +117,10 @@ func (s *Server) registerScrapeGauges() {
 	}
 	reg.GaugeFunc("charhpc_build_info", "constant 1, labeled with the registry fingerprint",
 		func() float64 { return 1 }, obs.L("fingerprint", core.Fingerprint()))
+	reg.GaugeFunc("charhpc_jobs_active", "async run jobs currently executing",
+		func() float64 { return float64(s.jobs.Counts()[jobs.Running]) })
+	reg.GaugeFunc("charhpc_jobs_queued", "async run jobs waiting for a worker slot",
+		func() float64 { return float64(s.jobs.Counts()[jobs.Pending]) })
 }
 
 // Registry returns the server's metric registry, so embedding binaries
@@ -116,7 +139,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleTraces serves the last N run traces as a JSON array, newest
-// first. ?n= bounds the count (default and maximum: the ring size).
+// first. ?n= bounds the count (default: the ring size); values above
+// the ring capacity are clamped rather than rejected — the ring can
+// never hold more anyway.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	n := 0
 	if v := r.URL.Query().Get("n"); v != "" {
@@ -124,6 +149,9 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		if err != nil || i < 1 {
 			http.Error(w, fmt.Sprintf("bad n %q (want a positive integer)", v), http.StatusBadRequest)
 			return
+		}
+		if i > s.traceCap {
+			i = s.traceCap
 		}
 		n = i
 	}
@@ -171,6 +199,14 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush passes the streaming capability through the wrapper — without
+// it the SSE handler would see no http.Flusher and refuse to stream.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // handlerLabel maps a request path to a bounded metric label — never
 // the raw path, whose cardinality is caller-controlled.
 func handlerLabel(path string) string {
@@ -187,6 +223,12 @@ func handlerLabel(path string) string {
 		return "experiments_list"
 	case strings.HasPrefix(path, "/experiments/"):
 		return "experiment_get"
+	case path == "/runs":
+		return "runs"
+	case strings.HasPrefix(path, "/runs/") && strings.HasSuffix(path, "/events"):
+		return "run_events"
+	case strings.HasPrefix(path, "/runs/"):
+		return "run_get"
 	default:
 		return "other"
 	}

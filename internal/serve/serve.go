@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diskcache"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/report"
 )
@@ -62,9 +63,20 @@ type Config struct {
 	// server to Quick; set Full to also allow paper-scale runs.
 	ScaleLimit core.Scale
 
-	// RunFunc executes one experiment request; nil means core.Run.
-	// Tests substitute it to count or stub executions.
+	// RunFunc executes one experiment request; nil means core.Run
+	// (with live hooks on the async job path). Tests substitute it to
+	// count or stub executions; a stubbed run produces no live
+	// phase/section events, only the job's lifecycle ones.
 	RunFunc func(core.Experiment, core.Request) core.Result
+
+	// Jobs bounds how many async run jobs (POST /runs) execute
+	// concurrently; 0 means jobs.DefaultWorkers. Queued jobs wait in
+	// state "pending".
+	Jobs int
+
+	// JobsHistory bounds how many finished jobs GET /runs retains for
+	// inspection; 0 means jobs.DefaultHistory.
+	JobsHistory int
 
 	// Store, when non-nil, persists filled cache entries to disk and
 	// makes the in-memory cache a write-through front: a cold key
@@ -98,15 +110,24 @@ type Config struct {
 // DefaultTraceCapacity is the trace-ring size when Config leaves it 0.
 const DefaultTraceCapacity = 32
 
+// Job pool defaults, re-exported so binaries can use them as flag
+// defaults without importing internal/jobs directly.
+const (
+	DefaultJobWorkers = jobs.DefaultWorkers
+	DefaultJobHistory = jobs.DefaultHistory
+)
+
 // Server is the HTTP results service. It implements http.Handler.
 type Server struct {
 	cfg      Config
 	listReps map[string]rep // registry listing per content type, fixed at init
 	cache    *cache
+	jobs     *jobs.Registry
 	mux      *http.ServeMux
 
 	m         *telemetry
 	traces    *obs.TraceBuffer
+	traceCap  int
 	accessLog *obs.Logger
 	start     time.Time
 }
@@ -134,9 +155,6 @@ func (s *Server) Stats() Stats {
 
 // New builds a Server over the process-wide experiment registry.
 func New(cfg Config) *Server {
-	if cfg.RunFunc == nil {
-		cfg.RunFunc = core.Run
-	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -149,18 +167,32 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		listReps:  buildListReps(),
 		cache:     newCache(),
+		jobs:      jobs.New(cfg.Jobs, cfg.JobsHistory),
 		mux:       http.NewServeMux(),
 		m:         newTelemetry(reg, cfg.Store),
 		traces:    obs.NewTraceBuffer(traceCap),
+		traceCap:  traceCap,
 		accessLog: cfg.AccessLog,
 		start:     time.Now(),
 	}
 	s.cache.waits = s.m.sfWait
+	s.jobs.SetMetrics(jobs.Metrics{
+		Submitted: s.m.jobsSubmitted,
+		Done:      s.m.jobsDone,
+		Failed:    s.m.jobsFailed,
+		Canceled:  s.m.jobsCanceled,
+		Events:    s.m.jobEvents,
+	})
 	s.registerScrapeGauges()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /experiments", s.handleList)
 	s.mux.HandleFunc("GET /experiments/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("POST /runs", s.handleSubmitRun)
+	s.mux.HandleFunc("GET /runs", s.handleJobList)
+	s.mux.HandleFunc("GET /runs/{job}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /runs/{job}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /runs/{job}/events", s.handleJobEvents)
 	if !cfg.DisableMetrics {
 		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	}
@@ -194,10 +226,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.Store != nil {
 		diskEntries = s.cfg.Store.Len()
 	}
-	fmt.Fprintf(w, "ok runs=%d mem_hits=%d disk_loads=%d disk_errs=%d fingerprint=%s uptime_seconds=%d mem_entries=%d disk_entries=%d\n",
+	jc := s.jobs.Counts()
+	fmt.Fprintf(w, "ok runs=%d mem_hits=%d disk_loads=%d disk_errs=%d fingerprint=%s uptime_seconds=%d mem_entries=%d disk_entries=%d jobs_active=%d jobs_queued=%d jobs_done=%d\n",
 		st.Runs, st.MemHits, st.DiskLoads, st.DiskErrs,
 		core.Fingerprint(), int(time.Since(s.start).Seconds()),
-		s.cache.len(), diskEntries)
+		s.cache.len(), diskEntries,
+		jc[jobs.Running], jc[jobs.Pending], jc[jobs.Done])
 }
 
 // listEntry is one row of the JSON registry listing. Platforms names
@@ -292,7 +326,8 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ent, hit, err := s.cache.get(key{id, req}, func() (map[string]rep, time.Duration, error) {
-		return s.fill(e, req)
+		reps, elapsed, _, err := s.fill(e, req, core.RunHooks{})
+		return reps, elapsed, err
 	})
 	if err != nil {
 		http.Error(w, fmt.Sprintf("experiment %s failed: %v", id, err), http.StatusInternalServerError)
@@ -375,20 +410,22 @@ func renderResult(res core.Result) (map[string]rep, time.Duration, error) {
 
 // fill produces the representations for one cold (id, scale,
 // platform): load from the disk store when a valid entry generation
-// exists there, otherwise execute the experiment and write the
-// rendering through to the store. This is the only path that fills the
-// in-memory cache, so the memory layer is strictly a write-through
-// front for the store.
-func (s *Server) fill(e core.Experiment, req core.Request) (map[string]rep, time.Duration, error) {
+// exists there, otherwise execute the experiment — observed through h
+// on the async job path — and write the rendering through to the
+// store. This is the only path that fills the in-memory cache, so the
+// memory layer is strictly a write-through front for the store. tier
+// reports how the result was produced ("disk" or "run"), for job
+// terminal events and the cache-tier metrics.
+func (s *Server) fill(e core.Experiment, req core.Request, h core.RunHooks) (map[string]rep, time.Duration, string, error) {
 	if reps, elapsed, ok := s.loadStore(e.ID, req); ok {
 		s.m.diskLoads.Inc()
-		return reps, elapsed, nil
+		return reps, elapsed, "disk", nil
 	}
-	reps, elapsed, err := renderResult(s.safeRun(e, req))
+	reps, elapsed, err := renderResult(s.safeRun(e, req, h))
 	if err == nil {
 		s.saveStore(e.ID, req, reps, elapsed)
 	}
-	return reps, elapsed, err
+	return reps, elapsed, "run", err
 }
 
 // Warm fills the quick-scale cache for the given experiment IDs (nil
@@ -467,7 +504,7 @@ func (s *Server) Warm(ctx context.Context, ids []string, platforms []string, wor
 					Err: fmt.Errorf("warm-up canceled: %w", err)}
 			}
 			ran.Add(1)
-			return s.safeRun(e, rq)
+			return s.safeRun(e, rq, core.RunHooks{})
 		}
 		core.RunParallelWith(cold, req, workers, run, func(r core.Result) {
 			k := key{r.Experiment.ID, req}
@@ -483,12 +520,15 @@ func (s *Server) Warm(ctx context.Context, ids []string, platforms []string, wor
 	return total
 }
 
-// safeRun drives cfg.RunFunc with the safety net both execution paths
-// need: a panicking run becomes an error Result instead of killing a
-// worker goroutine (and with it the process, on the Warm path), and
-// the job's own identity is stamped on the result so cache keys and
-// JSON envelopes never depend on what a wrapper echoed back.
-func (s *Server) safeRun(e core.Experiment, req core.Request) (res core.Result) {
+// safeRun drives one execution with the safety net both paths need: a
+// panicking run becomes an error Result instead of killing a worker
+// goroutine (and with it the process, on the Warm path), and the
+// job's own identity is stamped on the result so cache keys and JSON
+// envelopes never depend on what a wrapper echoed back. A configured
+// RunFunc (test stubs, wrappers) takes precedence and ignores the
+// hooks; the default path runs core.RunWithHooks so async jobs see
+// live phase/section events.
+func (s *Server) safeRun(e core.Experiment, req core.Request, h core.RunHooks) (res core.Result) {
 	s.m.runTotal.Inc()
 	defer func() {
 		if r := recover(); r != nil {
@@ -504,7 +544,10 @@ func (s *Server) safeRun(e core.Experiment, req core.Request) (res core.Result) 
 			}
 		}
 	}()
-	return s.cfg.RunFunc(e, req)
+	if s.cfg.RunFunc != nil {
+		return s.cfg.RunFunc(e, req)
+	}
+	return core.RunWithHooks(e, req, h)
 }
 
 // storeKey maps one in-memory cache slot + offered content type to
