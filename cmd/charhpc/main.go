@@ -10,6 +10,7 @@
 //	charhpc -scale full -exp F1,T3      # selected experiments, paper scale
 //	charhpc -platform gige-8n T1        # T1 on the GigE preset
 //	charhpc -platform bgp-64n           # everything bgp-64n can answer
+//	charhpc -platform-file mine.json M3 # M3 on a user-defined machine
 //	charhpc -j 4 -out results/          # 4-way parallel, one file per ID
 //	charhpc -trace T4                   # print the run's timing tree
 //	charhpc -trace-json traces.jsonl T4 # span trees as JSON lines ('-' = stdout)
@@ -65,6 +66,7 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "sweep scale: quick or full")
 	expFlag := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
 	platformFlag := flag.String("platform", "", "run on this platform preset instead of each experiment's default set (see -platforms)")
+	platformFile := flag.String("platform-file", "", "run on the custom platform described by this JSON spec (see the README's bring-your-own-machine section)")
 	listFlag := flag.Bool("list", false, "list experiments (with their valid platforms) and exit")
 	platformsFlag := flag.Bool("platforms", false, "list platform presets and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
@@ -103,6 +105,31 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "charhpc: unknown scale %q (want quick or full)\n", *scaleFlag)
 		os.Exit(2)
+	}
+	// -platform-file registers a user-defined machine as data and runs
+	// on it under its content-hash name — the CLI half of the service's
+	// POST /platforms. The canonical bytes are kept so -submit can
+	// register the same machine (same hash, same name) on the daemon.
+	var customSpec []byte
+	if *platformFile != "" {
+		if req.Platform != "" {
+			fmt.Fprintln(os.Stderr, "charhpc: -platform and -platform-file are mutually exclusive")
+			os.Exit(2)
+		}
+		b, err := os.ReadFile(*platformFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "charhpc: %v\n", err)
+			os.Exit(2)
+		}
+		spec, err := cluster.ParseSpec(b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "charhpc: %s: %v\n", *platformFile, err)
+			os.Exit(2)
+		}
+		name, _ := cluster.RegisterCustom(spec)
+		fmt.Fprintf(os.Stderr, "charhpc: %s registered as %s\n", *platformFile, name)
+		req.Platform = name
+		customSpec = spec.Canonical()
 	}
 	if req.Platform != "" {
 		if _, ok := cluster.Lookup(req.Platform); !ok {
@@ -154,9 +181,11 @@ func main() {
 	}
 
 	// Client mode: hand the selection to a daemon's async run API and
-	// render its progress; nothing executes in this process.
+	// render its progress; nothing executes in this process. A custom
+	// platform is registered on the daemon first, so the submitted
+	// custom-<hash> name resolves there too.
 	if *submitFlag != "" {
-		os.Exit(runSubmit(*submitFlag, ids, req, *followFlag))
+		os.Exit(runSubmit(*submitFlag, ids, req, *followFlag, customSpec))
 	}
 
 	var store *diskcache.Store

@@ -46,11 +46,21 @@ func (e jobEvent) terminal() bool {
 
 // runSubmit is the -submit entry point: submits every selected
 // experiment to the daemon at addr and, with follow, streams each
-// job's progress and prints its result. Returns the process exit code.
-func runSubmit(addr string, ids []string, req core.Request, follow bool) int {
+// job's progress and prints its result. A non-nil platformSpec (the
+// canonical bytes behind -platform-file) is POSTed to /platforms
+// first — content-hash naming guarantees the daemon resolves the
+// request's custom-<hash> name to the identical machine. Returns the
+// process exit code.
+func runSubmit(addr string, ids []string, req core.Request, follow bool, platformSpec []byte) int {
 	addr = strings.TrimRight(addr, "/")
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
+	}
+	if platformSpec != nil {
+		if err := registerPlatform(addr, platformSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "charhpc: registering %s on %s: %v\n", req.Platform, addr, err)
+			return 1
+		}
 	}
 	failed := 0
 	for _, id := range ids {
@@ -63,6 +73,22 @@ func runSubmit(addr string, ids []string, req core.Request, follow bool) int {
 		return 1
 	}
 	return 0
+}
+
+// registerPlatform POSTs one canonical platform spec to the daemon.
+// 201 (first sighting) and 200 (already registered) both succeed —
+// registration is idempotent by content hash.
+func registerPlatform(addr string, spec []byte) error {
+	resp, err := http.Post(addr+"/platforms", "application/json", strings.NewReader(string(spec)))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
 }
 
 // submitOne submits a single experiment and optionally follows it.

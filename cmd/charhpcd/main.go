@@ -21,6 +21,7 @@
 //	charhpcd -warm=false -scale-limit full # cold start, allow full runs
 //	charhpcd -warm-platforms default,gige-8n,bgp-64n
 //	charhpcd -cache-dir /var/cache/charhpc -cache-max-bytes 67108864
+//	charhpcd -platform-dir /etc/charhpc/platforms   # preload custom machines
 //	charhpcd -log-format json -pprof        # machine logs + profiling
 //	charhpcd -jobs 4 -jobs-history 128      # async run capacity (POST /runs)
 //
@@ -68,6 +69,8 @@ func main() {
 	scaleLimit := flag.String("scale-limit", "quick", "largest scale served: quick or full")
 	cacheDir := flag.String("cache-dir", "", "persist the results cache under this directory (empty = memory only)")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this many bytes (0 = unbounded)")
+	platformDir := flag.String("platform-dir", "", "preload custom platform specs (*.json) from this directory and persist POST /platforms registrations into it")
+	customCacheMax := flag.Int64("custom-cache-max-bytes", 0, "byte budget for custom-platform entries in the disk cache (0 = inherit -cache-max-bytes; presets are never evicted by customs either way)")
 	jobsFlag := flag.Int("jobs", serve.DefaultJobWorkers, "async run jobs (POST /runs) executing concurrently; further submissions queue")
 	jobsHistory := flag.Int("jobs-history", serve.DefaultJobHistory, "finished async jobs retained for GET /runs inspection")
 	metrics := flag.Bool("metrics", true, "serve the Prometheus exposition on GET /metrics")
@@ -92,25 +95,6 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Resolve the warm-up platform axis up front so a typo fails the
-	// start, not a background goroutine.
-	var platforms []string
-	for _, p := range strings.Split(*warmPlatforms, ",") {
-		p = strings.TrimSpace(p)
-		switch p {
-		case "":
-			continue
-		case "default":
-			platforms = append(platforms, "")
-		default:
-			if _, ok := cluster.Lookup(p); !ok {
-				fmt.Fprintf(os.Stderr, "charhpcd: unknown warm-up platform %q (presets: %v)\n", p, cluster.Names())
-				os.Exit(2)
-			}
-			platforms = append(platforms, p)
-		}
-	}
-
 	var store *diskcache.Store
 	if *cacheDir != "" {
 		var err error
@@ -119,6 +103,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "charhpcd: %v\n", err)
 			os.Exit(1)
 		}
+		store.SetCustomQuota(*customCacheMax)
 		logger.Info("results cache open",
 			"dir", store.Dir(), "entries", store.Len(),
 			"fingerprint", store.Fingerprint()[:12])
@@ -131,9 +116,31 @@ func main() {
 		JobsHistory:    *jobsHistory,
 		DisableMetrics: !*metrics,
 		AccessLog:      logger,
+		PlatformDir:    *platformDir,
 	})
 	if *pprofOn {
 		srv.EnablePprof()
+	}
+
+	// Resolve the warm-up platform axis after serve.New so names
+	// preloaded from -platform-dir resolve too; a typo still fails the
+	// start, not a background goroutine.
+	var platforms []string
+	for _, p := range strings.Split(*warmPlatforms, ",") {
+		p = strings.TrimSpace(p)
+		switch p {
+		case "":
+			continue
+		case "default":
+			platforms = append(platforms, "")
+		default:
+			if _, ok := cluster.Lookup(p); !ok {
+				fmt.Fprintf(os.Stderr, "charhpcd: unknown warm-up platform %q (platforms: %v)\n", p,
+					append(cluster.Names(), cluster.CustomNames()...))
+				os.Exit(2)
+			}
+			platforms = append(platforms, p)
+		}
 	}
 
 	// The signal context is created before the warm-up starts so a

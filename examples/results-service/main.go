@@ -221,7 +221,37 @@ func main() {
 	cresp.Body.Close()
 	fmt.Printf("  GET %s with the job's ETag -> %s\n", terminal.Data["url"], cresp.Status)
 
-	// 8. Disk persistence: the same service over a diskcache.Store
+	// 8. Bring your own machine: register a user-defined platform as
+	// data, run a mem-model experiment on it, and revalidate — a custom
+	// is a first-class platform under its content-hash name, so
+	// registration is idempotent and the result caches like a preset's.
+	fmt.Println("\nPOST /platforms (a user-defined machine as JSON):")
+	reg := postPlatform(ts.URL, customPlatformSpec)
+	fmt.Printf("  201 -> name %s caps=%v\n", reg.Name, reg.Caps)
+	again := postPlatform(ts.URL, customPlatformSpec)
+	fmt.Printf("  re-POST -> existed=%v, same name: %v (content-hash identity)\n",
+		again.Existed, again.Name == reg.Name)
+
+	fmt.Printf("GET /experiments/M3?platform=%s:\n", reg.Name)
+	req, _ = http.NewRequest("GET", ts.URL+"/experiments/M3?platform="+reg.Name, nil)
+	mresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, mresp.Body)
+	mresp.Body.Close()
+	metag := mresp.Header.Get("ETag")
+	fmt.Printf("  %s, ETag %s...\n", mresp.Status, metag[:10])
+	req.Header.Set("If-None-Match", metag)
+	mresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, mresp.Body)
+	mresp.Body.Close()
+	fmt.Printf("  revalidating GET on the custom platform: %s\n", mresp.Status)
+
+	// 9. Disk persistence: the same service over a diskcache.Store
 	// survives a restart — the second "process" warms entirely from
 	// disk, runs nothing, and serves the same ETag.
 	dir, err := os.MkdirTemp("", "charhpc-cache-*")
@@ -259,6 +289,65 @@ func main() {
 		st.Runs, st.DiskLoads, hdr.Get("ETag") == etag1)
 	body, _ = get(ts2.URL+"/healthz", "")
 	fmt.Printf("GET /healthz -> %s", body)
+}
+
+// customPlatformSpec is the walk-through's user-defined machine: a
+// 16-node cluster with a full memory hierarchy, so every platform-axis
+// experiment family accepts it. examples/platforms/edr-16n.json is the
+// same shape as a standalone file for charhpc -platform-file.
+const customPlatformSpec = `{
+  "label": "walk-through 16-node cluster",
+  "topology": {"nodes": 16, "sockets_per_node": 2, "cores_per_socket": 8},
+  "links": {
+    "self":         {"latency_s": 8e-8, "overhead_s": 6e-8, "gap_s": 8e-9, "bandwidth_bytes_per_s": 16e9},
+    "intra_socket": {"latency_s": 2.5e-7, "overhead_s": 1.5e-7, "gap_s": 1.5e-8, "bandwidth_bytes_per_s": 9e9},
+    "intra_node":   {"latency_s": 5e-7, "overhead_s": 1.8e-7, "gap_s": 2.5e-8, "bandwidth_bytes_per_s": 6e9},
+    "inter_node":   {"latency_s": 1.1e-6, "overhead_s": 4e-7, "gap_s": 9e-8, "bandwidth_bytes_per_s": 1.1e10}
+  },
+  "mem_bw_per_socket_bytes_per_s": 1.2e10,
+  "mem_bw_per_core_bytes_per_s": 4e9,
+  "flops_per_core": 3.2e10,
+  "mem": {
+    "name": "walkthrough-node",
+    "levels": [
+      {"name": "L1", "capacity_bytes": 32768, "latency_s": 1.0e-9},
+      {"name": "L2", "capacity_bytes": 1048576, "latency_s": 3.5e-9},
+      {"name": "L3", "capacity_bytes": 25165824, "latency_s": 1.2e-8}
+    ],
+    "mem_latency_s": 8.5e-8,
+    "tlb": {"entries": 1536, "miss_cost_s": 1.8e-8},
+    "page_bytes": 4096,
+    "large_page_bytes": 2097152,
+    "page_fault_cost_s": 1.2e-6,
+    "numa": {"nodes": 2, "remote_latency_s": 1.4e-7, "remote_tlb_cost_s": 2.5e-8}
+  }
+}`
+
+// registerResponse is the subset of the POST /platforms body the
+// walk-through shows.
+type registerResponse struct {
+	Name    string   `json:"name"`
+	Caps    []string `json:"caps"`
+	Existed bool     `json:"existed"`
+}
+
+// postPlatform registers one spec, accepting both 201 (first sighting)
+// and 200 (idempotent re-POST).
+func postPlatform(base, spec string) registerResponse {
+	resp, err := http.Post(base+"/platforms", "application/json", strings.NewReader(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("POST /platforms: %s: %s", resp.Status, body)
+	}
+	var reg registerResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		log.Fatalf("bad register response: %v", err)
+	}
+	return reg
 }
 
 // get fetches a URL with an optional Accept header and returns the

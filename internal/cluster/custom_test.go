@@ -1,0 +1,348 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// validSpecJSON returns a complete, valid custom-platform document.
+// Callers mutate the decoded map to probe individual validation rules.
+func validSpecJSON() map[string]any {
+	var m map[string]any
+	if err := json.Unmarshal([]byte(validSpecText), &m); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+const validSpecText = `{
+  "label": "test quad-node xeon",
+  "topology": {"nodes": 4, "sockets_per_node": 2, "cores_per_socket": 4},
+  "links": {
+    "self":         {"latency_s": 1e-7, "overhead_s": 1e-7, "gap_s": 1e-8, "bandwidth_bytes_per_s": 12e9},
+    "intra_socket": {"latency_s": 3e-7, "overhead_s": 2e-7, "gap_s": 2e-8, "bandwidth_bytes_per_s": 6e9},
+    "intra_node":   {"latency_s": 6e-7, "overhead_s": 2e-7, "gap_s": 3e-8, "bandwidth_bytes_per_s": 4e9},
+    "inter_node":   {"latency_s": 2e-5, "overhead_s": 1e-6, "gap_s": 1e-6, "bandwidth_bytes_per_s": 1.2e8}
+  },
+  "mem_bw_per_socket_bytes_per_s": 6.4e9,
+  "mem_bw_per_core_bytes_per_s": 2.5e9,
+  "flops_per_core": 9.6e9,
+  "mem": {
+    "name": "test-xeon",
+    "levels": [
+      {"name": "L1", "capacity_bytes": 32768, "latency_s": 1.2e-9},
+      {"name": "L2", "capacity_bytes": 262144, "latency_s": 4.5e-9},
+      {"name": "L3", "capacity_bytes": 8388608, "latency_s": 1.4e-8}
+    ],
+    "mem_latency_s": 7.5e-8,
+    "tlb": {"entries": 512, "miss_cost_s": 2.2e-8},
+    "page_bytes": 4096,
+    "large_page_bytes": 2097152,
+    "page_fault_cost_s": 1.5e-6,
+    "numa": {"nodes": 2, "remote_latency_s": 1.25e-7, "remote_tlb_cost_s": 3e-8}
+  }
+}`
+
+func marshal(t *testing.T, m map[string]any) []byte {
+	t.Helper()
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestParseSpecValid(t *testing.T) {
+	s, err := ParseSpec([]byte(validSpecText))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	name := s.Name()
+	if !IsCustomName(name) || len(name) != len(CustomPrefix)+12 {
+		t.Fatalf("bad custom name %q", name)
+	}
+	m := s.Model()
+	if m.Name != name {
+		t.Fatalf("model name %q != spec name %q", m.Name, name)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("built model invalid: %v", err)
+	}
+	want := CapMultiNode | CapMemModel | CapNUMA
+	if m.Caps() != want {
+		t.Fatalf("caps = %v, want %v", m.Caps(), want)
+	}
+	// Bandwidth converts to gap-per-byte.
+	if got := m.Links.InterNode.GB; got != 1/1.2e8 {
+		t.Fatalf("inter-node GB = %g, want %g", got, 1/1.2e8)
+	}
+	// Mem hierarchy survives the round trip.
+	if m.Mem == nil || len(m.Mem.Levels) != 3 || m.Mem.NUMA.Nodes != 2 {
+		t.Fatalf("mem model mangled: %+v", m.Mem)
+	}
+	if m.Mem.Mode != mem.Paged {
+		t.Fatalf("default mode = %v, want paged", m.Mem.Mode)
+	}
+}
+
+func TestSpecNameCanonical(t *testing.T) {
+	s1, err := ParseSpec([]byte(validSpecText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same document with reordered keys, extra whitespace, and the
+	// default placement made explicit must hash identically.
+	m := validSpecJSON()
+	m["placement"] = "block"
+	reordered, err := json.MarshalIndent(m, "", "    ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseSpec(reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Name() != s2.Name() {
+		t.Fatalf("equivalent specs hash differently: %q vs %q", s1.Name(), s2.Name())
+	}
+	// A parameter change is a different machine, so a different name.
+	m["flops_per_core"] = 2 * 9.6e9
+	s3, err := ParseSpec(marshal(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Name() == s1.Name() {
+		t.Fatal("different specs share a name")
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(m map[string]any)
+		want   string
+	}{
+		{"unknown field", func(m map[string]any) { m["turbo"] = true }, "unknown field"},
+		{"negative latency", func(m map[string]any) {
+			m["links"].(map[string]any)["inter_node"].(map[string]any)["latency_s"] = -1e-6
+		}, "negative LogGP"},
+		{"negative bandwidth", func(m map[string]any) {
+			m["links"].(map[string]any)["inter_node"].(map[string]any)["bandwidth_bytes_per_s"] = -1.0
+		}, "negative LogGP"},
+		{"zero flops", func(m map[string]any) { m["flops_per_core"] = 0 }, "non-positive"},
+		{"zero mem bandwidth", func(m map[string]any) { m["mem_bw_per_socket_bytes_per_s"] = 0 }, "non-positive"},
+		{"zero topology", func(m map[string]any) {
+			m["topology"].(map[string]any)["nodes"] = 0
+		}, "invalid topology"},
+		{"bad placement", func(m map[string]any) { m["placement"] = "diagonal" }, "unknown placement"},
+		{"bad mem mode", func(m map[string]any) {
+			m["mem"].(map[string]any)["mode"] = "virtual"
+		}, "unknown memory mode"},
+		{"non-ascending levels", func(m map[string]any) {
+			levels := m["mem"].(map[string]any)["levels"].([]any)
+			levels[1].(map[string]any)["capacity_bytes"] = 1024
+		}, "not ascending"},
+		{"memory faster than cache", func(m map[string]any) {
+			m["mem"].(map[string]any)["mem_latency_s"] = 1e-9
+		}, "not above last level"},
+		{"zero TLB", func(m map[string]any) {
+			m["mem"].(map[string]any)["tlb"].(map[string]any)["entries"] = 0
+		}, "invalid TLB"},
+		{"remote not above local", func(m map[string]any) {
+			m["mem"].(map[string]any)["numa"].(map[string]any)["remote_latency_s"] = 1e-9
+		}, "not above local"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := validSpecJSON()
+			tc.mutate(m)
+			_, err := ParseSpec(marshal(t, m))
+			if err == nil {
+				t.Fatal("ParseSpec accepted an invalid spec")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseSpecMalformed(t *testing.T) {
+	for _, doc := range []string{"", "{", `"just a string"`, `{"topology": {}} trailing`} {
+		if _, err := ParseSpec([]byte(doc)); err == nil {
+			t.Fatalf("ParseSpec accepted %q", doc)
+		}
+	}
+}
+
+// NUMA inside a single machine-room node is the fat-1n shape: valid,
+// and it must advertise the numa capability without multi-node.
+func TestParseSpecNUMAOnOneNode(t *testing.T) {
+	m := validSpecJSON()
+	m["topology"].(map[string]any)["nodes"] = 1
+	s, err := ParseSpec(marshal(t, m))
+	if err != nil {
+		t.Fatalf("1-node NUMA spec rejected: %v", err)
+	}
+	caps := s.Model().Caps()
+	if caps&CapNUMA == 0 || caps&CapMultiNode != 0 {
+		t.Fatalf("caps = %v, want numa without multi-node", caps)
+	}
+}
+
+// Omitting mem entirely is valid but yields no mem-model capability —
+// the M-family experiments must refuse such a platform downstream.
+func TestParseSpecNoMem(t *testing.T) {
+	m := validSpecJSON()
+	delete(m, "mem")
+	s, err := ParseSpec(marshal(t, m))
+	if err != nil {
+		t.Fatalf("mem-less spec rejected: %v", err)
+	}
+	if caps := s.Model().Caps(); caps&CapMemModel != 0 {
+		t.Fatalf("caps = %v, want no mem-model", caps)
+	}
+}
+
+func TestRegisterCustomIdempotent(t *testing.T) {
+	defer PurgeCustoms()
+	PurgeCustoms()
+	s, err := ParseSpec([]byte(validSpecText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, existed := RegisterCustom(s)
+	if existed {
+		t.Fatal("first registration reported existing")
+	}
+	// Re-parse from the canonical bytes: same machine, same name.
+	s2, err := ParseSpec(s.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	name2, existed := RegisterCustom(s2)
+	if !existed || name2 != name {
+		t.Fatalf("re-registration: name=%q existed=%v, want %q true", name2, existed, name)
+	}
+	if got := CustomCount(); got != 1 {
+		t.Fatalf("CustomCount = %d, want 1", got)
+	}
+}
+
+func TestLookupResolvesCustoms(t *testing.T) {
+	defer PurgeCustoms()
+	PurgeCustoms()
+	s, err := ParseSpec([]byte(validSpecText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, _ := RegisterCustom(s)
+	m1, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("Lookup(%q) missed a registered custom", name)
+	}
+	m2, _ := Lookup(name)
+	if m1 == m2 {
+		t.Fatal("Lookup aliases custom models across calls")
+	}
+	if m1.Name != name {
+		t.Fatalf("looked-up model named %q, want %q", m1.Name, name)
+	}
+	if _, ok := Lookup(CustomPrefix + "000000000000"); ok {
+		t.Fatal("Lookup resolved an unregistered custom name")
+	}
+	// Presets still resolve and never collide with the custom prefix.
+	for _, n := range Names() {
+		if IsCustomName(n) {
+			t.Fatalf("preset %q uses the custom prefix", n)
+		}
+		if _, ok := Lookup(n); !ok {
+			t.Fatalf("preset %q stopped resolving", n)
+		}
+	}
+}
+
+func TestCustomRegistryLRU(t *testing.T) {
+	defer func() { SetCustomLimit(0); PurgeCustoms() }()
+	PurgeCustoms()
+	SetCustomLimit(3)
+	names := make([]string, 4)
+	for i := range names {
+		m := validSpecJSON()
+		m["label"] = fmt.Sprintf("machine %d", i)
+		s, err := ParseSpec(marshal(t, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		names[i], _ = RegisterCustom(s)
+		if i == 2 {
+			// Touch the oldest so it is no longer the eviction victim.
+			if _, ok := Lookup(names[0]); !ok {
+				t.Fatal("touch lookup missed")
+			}
+		}
+	}
+	if got := CustomCount(); got != 3 {
+		t.Fatalf("CustomCount = %d, want 3", got)
+	}
+	if _, ok := Lookup(names[1]); ok {
+		t.Fatal("LRU victim still resolves")
+	}
+	for _, n := range []string{names[0], names[2], names[3]} {
+		if _, ok := Lookup(n); !ok {
+			t.Fatalf("%q evicted, want kept", n)
+		}
+	}
+}
+
+// Registering customs must not change RegistryShape — the fingerprint
+// input — or every registration would purge the disk cache.
+func TestCustomsDoNotChangeRegistryShape(t *testing.T) {
+	defer PurgeCustoms()
+	PurgeCustoms()
+	before := RegistryShape()
+	s, err := ParseSpec([]byte(validSpecText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	RegisterCustom(s)
+	after := RegistryShape()
+	if len(before) != len(after) {
+		t.Fatalf("RegistryShape grew from %d to %d entries", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("RegistryShape changed: %q -> %q", before[i], after[i])
+		}
+	}
+}
+
+func TestCustomNamesSorted(t *testing.T) {
+	defer PurgeCustoms()
+	PurgeCustoms()
+	for i := 0; i < 3; i++ {
+		m := validSpecJSON()
+		m["label"] = fmt.Sprintf("sorted %d", i)
+		s, err := ParseSpec(marshal(t, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		RegisterCustom(s)
+	}
+	names := CustomNames()
+	if len(names) != 3 {
+		t.Fatalf("CustomNames len = %d, want 3", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("CustomNames not sorted: %v", names)
+		}
+	}
+	if _, ok := CustomSpec(names[0]); !ok {
+		t.Fatal("CustomSpec missed a registered name")
+	}
+}

@@ -40,6 +40,12 @@ func (c Capability) String() string {
 	if c == CapAny {
 		return "any"
 	}
+	return strings.Join(c.List(), "+")
+}
+
+// List returns the mask's tag names as a slice, empty for CapAny — the
+// machine-readable form API listings carry.
+func (c Capability) List() []string {
 	var parts []string
 	if c&CapMultiNode != 0 {
 		parts = append(parts, "multi-node")
@@ -53,7 +59,7 @@ func (c Capability) String() string {
 	if rest := c &^ (CapMultiNode | CapMemModel | CapNUMA); rest != 0 {
 		parts = append(parts, fmt.Sprintf("Capability(%#x)", uint32(rest)))
 	}
-	return strings.Join(parts, "+")
+	return parts
 }
 
 // Caps returns the capability tags this model's structure supports.
@@ -101,16 +107,17 @@ func Names() []string {
 	return out
 }
 
-// Lookup returns a fresh instance of the named preset. Each call
-// constructs a new Model, so callers may mutate placement or topology
-// without aliasing other lookups.
+// Lookup returns a fresh instance of the named platform — a preset, or
+// a registered custom (custom.go) addressed by its content-hash name.
+// Each call constructs a new Model, so callers may mutate placement or
+// topology without aliasing other lookups.
 func Lookup(name string) (*Model, bool) {
 	for _, p := range presets {
 		if p.name == name {
 			return p.mk(), true
 		}
 	}
-	return nil, false
+	return lookupCustom(name)
 }
 
 // NamesWith returns the preset names whose models support every

@@ -97,6 +97,22 @@ func (e Experiment) Platforms() []string {
 	return cluster.NamesWith(e.Needs)
 }
 
+// Typed platform-validation failures. CheckPlatform and platformsFor
+// wrap these with %w so callers (the HTTP layer's error envelope, the
+// CLIs) can branch on the class of failure with errors.Is instead of
+// substring-matching rendered messages.
+var (
+	// ErrUnknownPlatform marks a platform name that resolves to neither
+	// a preset nor a registered custom.
+	ErrUnknownPlatform = errors.New("unknown platform")
+	// ErrIncompatiblePlatform marks a platform that exists but lacks a
+	// capability the experiment Needs.
+	ErrIncompatiblePlatform = errors.New("is incompatible")
+	// ErrNoPlatformAxis marks an explicit platform given to an
+	// experiment that measures the host and accepts none.
+	ErrNoPlatformAxis = errors.New("has no platform axis")
+)
+
 // CheckPlatform validates an explicit platform name against the
 // experiment's declared needs. The default "" is always valid.
 func (e Experiment) CheckPlatform(name string) error {
@@ -104,15 +120,15 @@ func (e Experiment) CheckPlatform(name string) error {
 		return nil
 	}
 	if e.NoPlatform {
-		return fmt.Errorf("core: experiment %s has no platform axis (it measures the host)", e.ID)
+		return fmt.Errorf("core: experiment %s %w (it measures the host)", e.ID, ErrNoPlatformAxis)
 	}
 	m, ok := cluster.Lookup(name)
 	if !ok {
-		return fmt.Errorf("core: unknown platform %q (presets: %v)", name, cluster.Names())
+		return fmt.Errorf("core: %w %q (presets: %v)", ErrUnknownPlatform, name, cluster.Names())
 	}
 	if !m.Has(e.Needs) {
-		return fmt.Errorf("core: platform %q is incompatible with experiment %s (needs %s; valid: %v)",
-			name, e.ID, e.Needs, e.Platforms())
+		return fmt.Errorf("core: platform %q %w with experiment %s (needs %s; valid: %v)",
+			name, ErrIncompatiblePlatform, e.ID, e.Needs, e.Platforms())
 	}
 	return nil
 }
@@ -219,7 +235,7 @@ func platformsFor(r Request, canonical ...func() *cluster.Model) ([]*cluster.Mod
 	}
 	m, ok := cluster.Lookup(r.Platform)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown platform %q (presets: %v)", r.Platform, cluster.Names())
+		return nil, fmt.Errorf("core: %w %q (presets: %v)", ErrUnknownPlatform, r.Platform, cluster.Names())
 	}
 	return []*cluster.Model{m}, nil
 }

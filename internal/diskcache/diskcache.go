@@ -93,11 +93,32 @@ type fileEntry struct {
 // concurrent use by multiple goroutines and, via atomic renames and
 // per-entry validation, by multiple processes sharing the directory.
 type Store struct {
-	dir      string
-	fp       string
-	maxBytes int64
-	mu       sync.Mutex // serializes in-process eviction scans
-	met      Metrics    // optional telemetry sinks; zero value is all no-ops
+	dir       string
+	fp        string
+	maxBytes  int64
+	customMax int64      // custom-platform namespace budget; 0 inherits maxBytes
+	mu        sync.Mutex // serializes in-process eviction scans
+	met       Metrics    // optional telemetry sinks; zero value is all no-ops
+}
+
+// customPlatformPrefix mirrors cluster.CustomPrefix without importing
+// the package: entry filenames whose platform component starts with it
+// belong to the custom eviction namespace. The prefix's characters all
+// survive escape() verbatim, so matching the escaped filename is exact.
+const customPlatformPrefix = "custom-"
+
+// SetCustomQuota bounds the custom-platform namespace to maxBytes of
+// entries, independent of the preset budget. 0 (the default) makes
+// customs inherit the store's main budget — still as their own
+// namespace, so however hard custom traffic churns, preset entries are
+// never its eviction victims. Call before the store is shared.
+func (st *Store) SetCustomQuota(maxBytes int64) { st.customMax = maxBytes }
+
+// isCustomEntry reports whether an entry filename's platform component
+// (the third '@'-separated part) names a custom platform.
+func isCustomEntry(name string) bool {
+	parts := strings.SplitN(name, "@", 4)
+	return len(parts) == 4 && strings.HasPrefix(parts[2], customPlatformPrefix)
 }
 
 // Metrics is the store's optional telemetry: set any subset of sinks
@@ -291,9 +312,17 @@ func (st *Store) sweepTemps() {
 
 func (st *Store) evict() { st.evictExcept("") }
 
-// evictExcept removes least-recently-used entries until the directory
-// fits the byte budget, never removing the named just-written file's
-// group. Eviction operates on whole (id, scale) groups — the
+// evictGroup is one eviction unit: all representations of one
+// (id, scale, platform) result.
+type evictGroup struct {
+	names []string
+	size  int64
+	mtime time.Time // newest member
+}
+
+// evictExcept removes least-recently-used entries until each namespace
+// fits its byte budget, never removing the named just-written file's
+// group. Eviction operates on whole (id, scale, platform) groups — the
 // filename's prefix before the content-type component — because
 // callers that persist one result as several representations read
 // them all-or-nothing: evicting a single file would orphan its
@@ -302,19 +331,26 @@ func (st *Store) evict() { st.evictExcept("") }
 // mtimes). Sizes and times are re-scanned on every call — entries
 // number in the low hundreds at most, and a scan stays correct when
 // other processes share the directory.
+//
+// Preset/default entries and custom-platform entries are separate
+// namespaces with separate budgets: presets against maxBytes, customs
+// against customMax (or maxBytes when unset). Each namespace's LRU
+// only ever evicts its own entries, so arbitrarily churning custom
+// uploads can exhaust only the custom budget — a preset's cached
+// result is never the victim of someone else's machine.
 func (st *Store) evictExcept(keep string) {
-	if st.maxBytes <= 0 {
+	customBudget := st.customMax
+	if customBudget <= 0 {
+		customBudget = st.maxBytes
+	}
+	if st.maxBytes <= 0 && customBudget <= 0 {
 		return
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	type group struct {
-		names []string
-		size  int64
-		mtime time.Time // newest member
-	}
-	groups := map[string]*group{}
-	var total int64
+	preset := map[string]*evictGroup{}
+	custom := map[string]*evictGroup{}
+	var presetTotal, customTotal int64
 	for _, de := range st.readDir() {
 		if !strings.HasSuffix(de.Name(), entryExt) {
 			continue
@@ -323,9 +359,13 @@ func (st *Store) evictExcept(keep string) {
 		if err != nil {
 			continue // deleted under us by a sibling process
 		}
+		groups, total := preset, &presetTotal
+		if isCustomEntry(de.Name()) {
+			groups, total = custom, &customTotal
+		}
 		g := groups[groupOf(de.Name())]
 		if g == nil {
-			g = &group{}
+			g = &evictGroup{}
 			groups[groupOf(de.Name())] = g
 		}
 		g.names = append(g.names, de.Name())
@@ -333,16 +373,26 @@ func (st *Store) evictExcept(keep string) {
 		if info.ModTime().After(g.mtime) {
 			g.mtime = info.ModTime()
 		}
-		total += info.Size()
+		*total += info.Size()
 	}
-	ordered := make([]*group, 0, len(groups))
+	st.evictNamespace(preset, presetTotal, st.maxBytes, keep)
+	st.evictNamespace(custom, customTotal, customBudget, keep)
+}
+
+// evictNamespace drops one namespace's least-recently-used groups
+// until it fits its budget (0 = unbounded). Callers hold st.mu.
+func (st *Store) evictNamespace(groups map[string]*evictGroup, total, budget int64, keep string) {
+	if budget <= 0 {
+		return
+	}
+	ordered := make([]*evictGroup, 0, len(groups))
 	for _, g := range groups {
 		ordered = append(ordered, g)
 	}
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].mtime.Before(ordered[j].mtime) })
 	keepGroup := groupOf(keep)
 	for _, g := range ordered {
-		if total <= st.maxBytes {
+		if total <= budget {
 			return
 		}
 		if keep != "" && groupOf(g.names[0]) == keepGroup {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -39,9 +40,21 @@ type entry struct {
 // single-flight fills: a cold key requested by N goroutines triggers exactly one
 // execution; the other N-1 wait on the winner's entry. Failed fills
 // are not retained, so a later request retries.
+//
+// Custom-platform keys live in their own LRU namespace: completed
+// entries whose platform is a custom-<hash> name count against
+// maxCustom, and the least recently used is dropped past it. Preset
+// and default-platform keys are never in that namespace, so a churn of
+// hostile or throwaway custom registrations can fill only its own
+// quota — it can never evict a preset result.
 type cache struct {
 	mu      sync.Mutex
 	entries map[key]*entry
+
+	// customOrder holds the completed custom-platform keys, least
+	// recently used first; maxCustom bounds it (0 = unbounded).
+	customOrder []key
+	maxCustom   int
 
 	// waits, when set, records how long hits blocked on an entry's
 	// done channel: ~0 for filled entries, the remaining run time for
@@ -49,8 +62,35 @@ type cache struct {
 	waits *obs.Histogram
 }
 
-func newCache() *cache {
-	return &cache{entries: map[key]*entry{}}
+func newCache(maxCustom int) *cache {
+	return &cache{entries: map[key]*entry{}, maxCustom: maxCustom}
+}
+
+// noteCustom records a completed custom-platform entry as most
+// recently used and evicts past the namespace quota. Only successful,
+// finished entries are ever noted, so eviction never drops an
+// in-flight fill out from under its waiters.
+func (c *cache) noteCustom(k key) {
+	if !cluster.IsCustomName(k.req.Platform) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, o := range c.customOrder {
+		if o == k {
+			c.customOrder = append(c.customOrder[:i], c.customOrder[i+1:]...)
+			break
+		}
+	}
+	c.customOrder = append(c.customOrder, k)
+	if c.maxCustom <= 0 {
+		return
+	}
+	for len(c.customOrder) > c.maxCustom {
+		victim := c.customOrder[0]
+		c.customOrder = c.customOrder[1:]
+		delete(c.entries, victim)
+	}
 }
 
 // get returns the entry for k, running fill exactly once if the key
@@ -67,6 +107,7 @@ func (c *cache) get(k key, fill func() (map[string]rep, time.Duration, error)) (
 		if e.err != nil {
 			return nil, true, e.err
 		}
+		c.noteCustom(k)
 		return e, true, nil
 	}
 	e := &entry{done: make(chan struct{})}
@@ -83,6 +124,7 @@ func (c *cache) get(k key, fill func() (map[string]rep, time.Duration, error)) (
 	if e.err != nil {
 		return nil, false, e.err
 	}
+	c.noteCustom(k)
 	return e, false, nil
 }
 
@@ -132,4 +174,7 @@ func (c *cache) finish(k key, e *entry, reps map[string]rep, elapsed time.Durati
 		c.mu.Unlock()
 	}
 	close(e.done)
+	if err == nil {
+		c.noteCustom(k)
+	}
 }

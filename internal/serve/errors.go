@@ -1,0 +1,96 @@
+// The service's one error shape: every non-2xx response serve produces
+// carries a machine-readable code alongside the human message, so
+// clients branch on codes instead of substring-matching prose (which
+// the tests now assert too). JSON clients get the structured envelope;
+// text clients keep a one-line rendering of the same fields. The code
+// vocabulary is part of the compatibility surface documented in this
+// package's README — removing or renaming a code is a breaking change.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// The error-code vocabulary. Codes name the class of failure, not the
+// HTTP status — a client retrying on invalid_scale is wrong whatever
+// the status says.
+const (
+	codeNotAcceptable        = "not_acceptable"
+	codeUnknownExperiment    = "unknown_experiment"
+	codeInvalidScale         = "invalid_scale"
+	codeScaleLimit           = "scale_limit"
+	codeUnknownPlatform      = "unknown_platform"
+	codeIncompatiblePlatform = "incompatible_platform"
+	codeNoPlatformAxis       = "no_platform_axis"
+	codeInvalidPlatform      = "invalid_platform"
+	codeBodyTooLarge         = "body_too_large"
+	codeUnknownJob           = "unknown_job"
+	codeBadRequest           = "bad_request"
+	codeRunFailed            = "run_failed"
+	codeInternal             = "internal"
+)
+
+// errorEnvelope is the JSON error body: the message, the stable code,
+// and an optional hint pointing at the endpoint that resolves the
+// failure.
+type errorEnvelope struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+	Hint  string `json:"hint,omitempty"`
+}
+
+// writeError renders one failure in the client's negotiated shape:
+// the JSON envelope when the Accept header resolves to JSON, otherwise
+// a one-line text rendering carrying the same code and hint. (CSV has
+// no error shape; CSV clients read the text line.)
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, msg, hint string) {
+	if negotiate(r.Header.Get("Accept")) == ctJSON {
+		w.Header().Set("Content-Type", ctJSON)
+		w.WriteHeader(status)
+		b, _ := json.Marshal(errorEnvelope{Error: msg, Code: code, Hint: hint})
+		w.Write(append(b, '\n'))
+		return
+	}
+	w.Header().Set("Content-Type", ctText)
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(status)
+	if hint != "" {
+		fmt.Fprintf(w, "error: %s (%s) [%s]\n", msg, hint, code)
+		return
+	}
+	fmt.Fprintf(w, "error: %s [%s]\n", msg, code)
+}
+
+// writeJSONInternal renders a marshal failure on an always-JSON
+// endpoint (the job API) in the envelope, skipping negotiation — the
+// response was going to be JSON regardless.
+func writeJSONInternal(w http.ResponseWriter, err error) {
+	w.Header().Set("Content-Type", ctJSON)
+	w.WriteHeader(http.StatusInternalServerError)
+	b, _ := json.Marshal(errorEnvelope{Error: err.Error(), Code: codeInternal})
+	w.Write(append(b, '\n'))
+}
+
+// platformError classifies a core platform-validation failure into the
+// envelope's vocabulary via the typed sentinels, so every handler that
+// calls CheckPlatform renders the same code for the same failure.
+func platformError(err error) (status int, code, hint string) {
+	switch {
+	case errors.Is(err, core.ErrUnknownPlatform):
+		return http.StatusBadRequest, codeUnknownPlatform,
+			"GET /platforms lists every preset and registered custom platform"
+	case errors.Is(err, core.ErrIncompatiblePlatform):
+		return http.StatusBadRequest, codeIncompatiblePlatform,
+			"GET /platforms/{name} lists the experiments a platform supports"
+	case errors.Is(err, core.ErrNoPlatformAxis):
+		return http.StatusBadRequest, codeNoPlatformAxis,
+			"omit the platform parameter for this experiment"
+	default:
+		return http.StatusBadRequest, codeBadRequest, ""
+	}
+}

@@ -42,33 +42,13 @@ type submitResponse struct {
 	EventsURL string `json:"events_url"`
 }
 
-// handleSubmitRun validates the request exactly like the blocking GET
-// (unknown ID 404, bad scale/platform 400, over-limit scale 403 —
-// nothing is accepted that could never run), then submits the job and
-// answers 202 with its ID and URLs.
+// handleSubmitRun validates the request through the same
+// parseRunRequest as the blocking GET — same checks, same order, same
+// envelope codes; nothing is accepted that could never run — then
+// submits the job and answers 202 with its ID and URLs.
 func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
-	id := r.FormValue("id")
-	e, ok := core.Get(id)
+	e, req, ok := s.parseRunRequest(w, r, r.FormValue("id"), r.FormValue("scale"), r.FormValue("platform"))
 	if !ok {
-		http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusNotFound)
-		return
-	}
-	req := core.Request{Scale: core.Quick}
-	switch v := r.FormValue("scale"); v {
-	case "", "quick":
-	case "full":
-		req.Scale = core.Full
-	default:
-		http.Error(w, fmt.Sprintf("unknown scale %q (want quick or full)", v), http.StatusBadRequest)
-		return
-	}
-	if req.Scale > s.cfg.ScaleLimit {
-		http.Error(w, fmt.Sprintf("scale %s disabled on this server (limit %s)", req.Scale, s.cfg.ScaleLimit), http.StatusForbidden)
-		return
-	}
-	req.Platform = r.FormValue("platform")
-	if err := e.CheckPlatform(req.Platform); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 
@@ -152,7 +132,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
 	}
 	b, err := json.Marshal(list)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeJSONInternal(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", ctJSON)
@@ -163,7 +143,9 @@ func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
 	j, ok := s.jobs.Get(r.PathValue("job"))
 	if !ok {
-		http.Error(w, fmt.Sprintf("unknown job %q", r.PathValue("job")), http.StatusNotFound)
+		writeError(w, r, http.StatusNotFound, codeUnknownJob,
+			fmt.Sprintf("unknown job %q", r.PathValue("job")),
+			"GET /runs lists the retained jobs")
 	}
 	return j, ok
 }
@@ -177,7 +159,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	}
 	b, err := json.Marshal(j.Status())
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeJSONInternal(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", ctJSON)
@@ -210,7 +192,8 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		writeError(w, r, http.StatusInternalServerError, codeInternal,
+			"streaming unsupported by this connection", "")
 		return
 	}
 	from := 0

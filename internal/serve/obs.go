@@ -47,6 +47,11 @@ type telemetry struct {
 	jobsFailed    *obs.Counter
 	jobsCanceled  *obs.Counter
 	jobEvents     *obs.Counter // progress events appended across all job logs
+
+	// Custom-platform registration counters (POST /platforms).
+	customRegistered *obs.Counter // state="registered": first sighting of a machine
+	customDuplicate  *obs.Counter // state="duplicate": idempotent re-POST
+	customRejected   *obs.Counter // state="rejected": invalid or oversized spec
 }
 
 // newTelemetry registers the server's instruments on reg and, when a
@@ -82,6 +87,14 @@ func newTelemetry(reg *obs.Registry, store *diskcache.Store) *telemetry {
 	m.jobsCanceled = jobState("canceled")
 	m.jobEvents = reg.Counter("charhpc_job_events_total",
 		"progress events appended across all job event logs")
+	customState := func(st string) *obs.Counter {
+		return reg.Counter("charhpc_custom_platforms",
+			"custom-platform registrations by outcome (registered, duplicate, rejected)",
+			obs.L("state", st))
+	}
+	m.customRegistered = customState("registered")
+	m.customDuplicate = customState("duplicate")
+	m.customRejected = customState("rejected")
 	if store != nil {
 		op := func(o string) *obs.Histogram {
 			return reg.Histogram("charhpc_diskcache_op_seconds",
@@ -147,7 +160,8 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("n"); v != "" {
 		i, err := strconv.Atoi(v)
 		if err != nil || i < 1 {
-			http.Error(w, fmt.Sprintf("bad n %q (want a positive integer)", v), http.StatusBadRequest)
+			writeError(w, r, http.StatusBadRequest, codeBadRequest,
+				fmt.Sprintf("bad n %q (want a positive integer)", v), "")
 			return
 		}
 		if i > s.traceCap {
@@ -161,7 +175,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}
 	b, err := json.Marshal(spans)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeJSONInternal(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", ctJSON)
@@ -223,6 +237,10 @@ func handlerLabel(path string) string {
 		return "experiments_list"
 	case strings.HasPrefix(path, "/experiments/"):
 		return "experiment_get"
+	case path == "/platforms":
+		return "platforms"
+	case strings.HasPrefix(path, "/platforms/"):
+		return "platform_get"
 	case path == "/runs":
 		return "runs"
 	case strings.HasPrefix(path, "/runs/") && strings.HasSuffix(path, "/events"):

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/diskcache"
 	"repro/internal/jobs"
@@ -105,7 +106,28 @@ type Config struct {
 	// TraceCapacity bounds the ring of recent run traces served by
 	// GET /debug/traces; 0 means DefaultTraceCapacity.
 	TraceCapacity int
+
+	// PlatformDir, when non-empty, is where custom platform specs
+	// live: every *.json file in it is registered at startup, and
+	// POST /platforms persists new registrations into it — so a
+	// restarted daemon resolves the same custom-<hash> names and its
+	// disk-cached custom results stay addressable.
+	PlatformDir string
+
+	// CustomCacheEntries bounds how many custom-platform results the
+	// in-memory cache retains (its own LRU namespace — preset entries
+	// are never evicted, however many customs churn). 0 means
+	// DefaultCustomCacheEntries; negative means unbounded.
+	CustomCacheEntries int
+
+	// MaxPlatformBody bounds POST /platforms request bodies in bytes;
+	// 0 means DefaultMaxPlatformBody.
+	MaxPlatformBody int64
 }
+
+// DefaultCustomCacheEntries is the memory cache's custom-platform
+// namespace quota when Config leaves it 0.
+const DefaultCustomCacheEntries = 128
 
 // DefaultTraceCapacity is the trace-ring size when Config leaves it 0.
 const DefaultTraceCapacity = 32
@@ -163,10 +185,17 @@ func New(cfg Config) *Server {
 	if traceCap <= 0 {
 		traceCap = DefaultTraceCapacity
 	}
+	maxCustom := cfg.CustomCacheEntries
+	if maxCustom == 0 {
+		maxCustom = DefaultCustomCacheEntries
+	}
+	if maxCustom < 0 {
+		maxCustom = 0 // unbounded
+	}
 	s := &Server{
 		cfg:       cfg,
 		listReps:  buildListReps(),
-		cache:     newCache(),
+		cache:     newCache(maxCustom),
 		jobs:      jobs.New(cfg.Jobs, cfg.JobsHistory),
 		mux:       http.NewServeMux(),
 		m:         newTelemetry(reg, cfg.Store),
@@ -184,9 +213,13 @@ func New(cfg Config) *Server {
 		Events:    s.m.jobEvents,
 	})
 	s.registerScrapeGauges()
+	s.loadPlatformDir()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /experiments", s.handleList)
 	s.mux.HandleFunc("GET /experiments/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /platforms", s.handlePlatformList)
+	s.mux.HandleFunc("POST /platforms", s.handlePlatformRegister)
+	s.mux.HandleFunc("GET /platforms/{name}", s.handlePlatformGet)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("POST /runs", s.handleSubmitRun)
 	s.mux.HandleFunc("GET /runs", s.handleJobList)
@@ -227,11 +260,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		diskEntries = s.cfg.Store.Len()
 	}
 	jc := s.jobs.Counts()
-	fmt.Fprintf(w, "ok runs=%d mem_hits=%d disk_loads=%d disk_errs=%d fingerprint=%s uptime_seconds=%d mem_entries=%d disk_entries=%d jobs_active=%d jobs_queued=%d jobs_done=%d\n",
+	fmt.Fprintf(w, "ok runs=%d mem_hits=%d disk_loads=%d disk_errs=%d fingerprint=%s uptime_seconds=%d mem_entries=%d disk_entries=%d jobs_active=%d jobs_queued=%d jobs_done=%d custom_platforms=%d\n",
 		st.Runs, st.MemHits, st.DiskLoads, st.DiskErrs,
 		core.Fingerprint(), int(time.Since(s.start).Seconds()),
 		s.cache.len(), diskEntries,
-		jc[jobs.Running], jc[jobs.Pending], jc[jobs.Done])
+		jc[jobs.Running], jc[jobs.Pending], jc[jobs.Done],
+		cluster.CustomCount())
 }
 
 // listEntry is one row of the JSON registry listing. Platforms names
@@ -280,12 +314,17 @@ func buildListReps() map[string]rep {
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	ct := negotiate(r.Header.Get("Accept"))
 	if ct == "" {
-		http.Error(w, "acceptable types: text/plain, text/csv, application/json", http.StatusNotAcceptable)
+		writeError(w, r, http.StatusNotAcceptable, codeNotAcceptable,
+			"acceptable types: text/plain, text/csv, application/json", "")
 		return
 	}
 	rp := s.listReps[ct]
 	w.Header().Set("Vary", "Accept")
 	w.Header().Set("ETag", rp.etag)
+	// The platform axis is its own resource; the listing links rather
+	// than inlines it, so these prebuilt bodies stay byte-stable as
+	// customs register.
+	w.Header().Set("Link", `</platforms>; rel="platforms"`)
 	if etagMatch(r.Header.Get("If-None-Match"), rp.etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
@@ -294,34 +333,57 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	w.Write(rp.body)
 }
 
-func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
+// parseRunRequest validates one run request the way every entry point
+// must: experiment existence (404), then scale syntax (400), then the
+// platform axis (400 — an invalid request is invalid whatever the
+// server's policy), and only then the server's scale limit (403). The
+// blocking GET and the async POST /runs both go through here, and the
+// table test in serve_test.go pins the precedence, so the same bad
+// request can never draw different codes from different entry points.
+func (s *Server) parseRunRequest(w http.ResponseWriter, r *http.Request, id, scaleV, platformV string) (core.Experiment, core.Request, bool) {
 	e, ok := core.Get(id)
 	if !ok {
-		http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusNotFound)
-		return
+		writeError(w, r, http.StatusNotFound, codeUnknownExperiment,
+			fmt.Sprintf("unknown experiment %q", id),
+			"GET /experiments lists every registered experiment")
+		return e, core.Request{}, false
 	}
 	req := core.Request{Scale: core.Quick}
-	switch v := r.URL.Query().Get("scale"); v {
+	switch scaleV {
 	case "", "quick":
 	case "full":
 		req.Scale = core.Full
 	default:
-		http.Error(w, fmt.Sprintf("unknown scale %q (want quick or full)", v), http.StatusBadRequest)
-		return
+		writeError(w, r, http.StatusBadRequest, codeInvalidScale,
+			fmt.Sprintf("unknown scale %q (want quick or full)", scaleV), "")
+		return e, req, false
+	}
+	req.Platform = platformV
+	if err := e.CheckPlatform(req.Platform); err != nil {
+		status, code, hint := platformError(err)
+		writeError(w, r, status, code, err.Error(), hint)
+		return e, req, false
 	}
 	if req.Scale > s.cfg.ScaleLimit {
-		http.Error(w, fmt.Sprintf("scale %s disabled on this server (limit %s)", req.Scale, s.cfg.ScaleLimit), http.StatusForbidden)
-		return
+		writeError(w, r, http.StatusForbidden, codeScaleLimit,
+			fmt.Sprintf("scale %s disabled on this server (limit %s)", req.Scale, s.cfg.ScaleLimit),
+			"this server was started without full-scale runs enabled")
+		return e, req, false
 	}
-	req.Platform = r.URL.Query().Get("platform")
-	if err := e.CheckPlatform(req.Platform); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	return e, req, true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	q := r.URL.Query()
+	e, req, ok := s.parseRunRequest(w, r, id, q.Get("scale"), q.Get("platform"))
+	if !ok {
 		return
 	}
 	ct := negotiate(r.Header.Get("Accept"))
 	if ct == "" {
-		http.Error(w, "acceptable types: text/plain, text/csv, application/json", http.StatusNotAcceptable)
+		writeError(w, r, http.StatusNotAcceptable, codeNotAcceptable,
+			"acceptable types: text/plain, text/csv, application/json", "")
 		return
 	}
 
@@ -330,7 +392,8 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return reps, elapsed, err
 	})
 	if err != nil {
-		http.Error(w, fmt.Sprintf("experiment %s failed: %v", id, err), http.StatusInternalServerError)
+		writeError(w, r, http.StatusInternalServerError, codeRunFailed,
+			fmt.Sprintf("experiment %s failed: %v", id, err), "")
 		return
 	}
 	// Waiters on a failed fill got a 500, not a cached result — only

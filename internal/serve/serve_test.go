@@ -504,21 +504,41 @@ func TestPlatformParam(t *testing.T) {
 
 func TestPlatformParam400(t *testing.T) {
 	ts := newTestServer(t, Config{})
-	// Unknown preset.
+	// The error code, not the message prose, is the contract clients
+	// branch on: each platform failure class draws its own.
+	cases := []struct {
+		path string
+		code string
+	}{
+		// Unknown name.
+		{"/experiments/T1?platform=cray-1", codeUnknownPlatform},
+		// Known preset incompatible with the experiment (F1 needs a
+		// multi-node fabric; smp-1n has one node).
+		{"/experiments/F1?platform=smp-1n", codeIncompatiblePlatform},
+		// Host-only experiments reject every explicit platform.
+		{"/experiments/T2?platform=ib-8n", codeNoPlatformAxis},
+	}
+	for _, c := range cases {
+		resp, body := doGet(t, ts.URL+c.path, "application/json", "")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s got %d, want 400", c.path, resp.StatusCode)
+			continue
+		}
+		env := decodeErrorEnvelope(t, body)
+		if env.Code != c.code {
+			t.Errorf("%s code = %q, want %q", c.path, env.Code, c.code)
+		}
+		if env.Error == "" || env.Hint == "" {
+			t.Errorf("%s envelope missing message or hint: %+v", c.path, env)
+		}
+	}
+	// Text clients see the same code in the one-line rendering.
 	resp, body := doGet(t, ts.URL+"/experiments/T1?platform=cray-1", "", "")
-	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "unknown platform") {
-		t.Errorf("unknown platform got %d %q, want 400", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "["+codeUnknownPlatform+"]") {
+		t.Errorf("text error rendering got %d %q, want the [%s] code", resp.StatusCode, body, codeUnknownPlatform)
 	}
-	// Known preset incompatible with the experiment (F1 needs a
-	// multi-node fabric; smp-1n has one node).
-	resp, body = doGet(t, ts.URL+"/experiments/F1?platform=smp-1n", "", "")
-	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "incompatible") {
-		t.Errorf("incompatible platform got %d %q, want 400", resp.StatusCode, body)
-	}
-	// Host-only experiments reject every explicit platform.
-	resp, _ = doGet(t, ts.URL+"/experiments/T2?platform=ib-8n", "", "")
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("host-only T2 with platform got %d, want 400", resp.StatusCode)
+	if !strings.HasPrefix(body, "error: ") {
+		t.Errorf("text error rendering lost its prefix: %q", body)
 	}
 }
 
