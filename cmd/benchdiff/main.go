@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // Benchmark mirrors cmd/bench2json's per-line record; only the fields
@@ -84,11 +85,28 @@ func main() {
 		fmt.Printf("%-32s %14s %14s %8s  (removed from pr)\n", name, "-", "-", "-")
 	}
 	if regressions > 0 {
-		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%% vs %s\n",
-			regressions, *threshold*100, *baseline)
+		fmt.Printf("\n%s\n", regressionSummary(regressions, *threshold, *baseline, added, removed))
 		os.Exit(2)
 	}
 	fmt.Printf("\nno regressions above %.0f%% (%d benchmarks compared)\n", *threshold*100, len(deltas))
+}
+
+// regressionSummary builds the exit-2 message. When the benchmark sets
+// diverged, it names the added and removed benchmarks explicitly — a
+// regression verdict over a shifted set is easy to misread in CI logs
+// ("did the slow one get removed, or renamed?"), so the summary says
+// exactly which names have no counterpart instead of leaving the
+// reader to diff the table above by eye.
+func regressionSummary(regressions int, threshold float64, baseline string, added, removed []string) string {
+	s := fmt.Sprintf("%d benchmark(s) regressed more than %.0f%% vs %s",
+		regressions, threshold*100, baseline)
+	if len(added) > 0 {
+		s += fmt.Sprintf("\nnot compared, added in pr (no baseline): %s", strings.Join(added, ", "))
+	}
+	if len(removed) > 0 {
+		s += fmt.Sprintf("\nnot compared, removed from pr: %s", strings.Join(removed, ", "))
+	}
+	return s
 }
 
 func load(path string) (*Record, error) {

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func rec(pairs ...any) *Record {
 	r := &Record{}
@@ -79,5 +82,58 @@ func TestCompareDedupsBaselineNames(t *testing.T) {
 	deltas, _, _ := compare(rec("D", 100.0, "D", 500.0), rec("D", 120.0), 0.25)
 	if len(deltas) != 1 || deltas[0].BaseNs != 100.0 {
 		t.Errorf("baseline dedup wrong: %+v", deltas)
+	}
+}
+
+func TestRegressionSummaryNamesDivergedSets(t *testing.T) {
+	cases := []struct {
+		name           string
+		added, removed []string
+		wantContain    []string
+		wantAbsent     []string
+	}{
+		{
+			name:        "no divergence",
+			wantContain: []string{"2 benchmark(s) regressed more than 25% vs base.json"},
+			wantAbsent:  []string{"added", "removed"},
+		},
+		{
+			name:        "added only",
+			added:       []string{"BenchNew1", "BenchNew2"},
+			wantContain: []string{"added in pr", "BenchNew1, BenchNew2"},
+			wantAbsent:  []string{"removed from pr"},
+		},
+		{
+			name:        "removed only",
+			removed:     []string{"BenchGone"},
+			wantContain: []string{"removed from pr: BenchGone"},
+			wantAbsent:  []string{"added in pr"},
+		},
+		{
+			// The case the old message got wrong: both sets diverged and
+			// neither was named.
+			name:    "added and removed",
+			added:   []string{"BenchNew"},
+			removed: []string{"BenchGoneA", "BenchGoneB"},
+			wantContain: []string{
+				"added in pr (no baseline): BenchNew",
+				"removed from pr: BenchGoneA, BenchGoneB",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := regressionSummary(2, 0.25, "base.json", tc.added, tc.removed)
+			for _, want := range tc.wantContain {
+				if !strings.Contains(got, want) {
+					t.Errorf("summary %q missing %q", got, want)
+				}
+			}
+			for _, absent := range tc.wantAbsent {
+				if strings.Contains(got, absent) {
+					t.Errorf("summary %q should not mention %q", got, absent)
+				}
+			}
+		})
 	}
 }

@@ -191,7 +191,8 @@ func main() {
 	var store *diskcache.Store
 	if *cacheDir != "" {
 		var err error
-		store, err = diskcache.Open(*cacheDir, core.Fingerprint(), 0)
+		store, err = diskcache.Open(*cacheDir,
+			diskcache.Fingerprints{Global: core.Fingerprint(), PerID: core.Fingerprints()}, 0)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "charhpc: %v\n", err)
 			os.Exit(1)

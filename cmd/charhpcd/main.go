@@ -98,7 +98,8 @@ func main() {
 	var store *diskcache.Store
 	if *cacheDir != "" {
 		var err error
-		store, err = diskcache.Open(*cacheDir, core.Fingerprint(), *cacheMax)
+		fps := diskcache.Fingerprints{Global: core.Fingerprint(), PerID: core.Fingerprints()}
+		store, err = diskcache.Open(*cacheDir, fps, *cacheMax)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "charhpcd: %v\n", err)
 			os.Exit(1)
@@ -106,6 +107,7 @@ func main() {
 		store.SetCustomQuota(*customCacheMax)
 		logger.Info("results cache open",
 			"dir", store.Dir(), "entries", store.Len(),
+			"stale_purged", store.StalePurged(), "migrated", store.Migrated(),
 			"fingerprint", store.Fingerprint()[:12])
 	}
 

@@ -259,9 +259,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	fp := core.Fingerprint()
+	fps := diskcache.Fingerprints{Global: core.Fingerprint(), PerID: core.Fingerprints()}
 
-	store, err := diskcache.Open(dir, fp, 0)
+	store, err := diskcache.Open(dir, fps, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func main() {
 		first.Stats().Runs, store.Len(), etag1[:10])
 
 	// "Restart": a fresh store handle and server over the same dir.
-	store2, err := diskcache.Open(dir, fp, 0)
+	store2, err := diskcache.Open(dir, fps, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,8 @@
 package cluster
 
 import (
+	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -142,18 +144,46 @@ func Presets() map[string]*Model {
 }
 
 // RegistryShape returns one line per preset — name, capability tags,
-// topology — sorted by name. core.Fingerprint hashes it so a disk
-// cache written under a different preset registry (a renamed preset, a
-// changed topology, a new capability) self-purges.
+// topology, parameter hash — sorted by name. core.Fingerprint hashes
+// it so a disk cache written under a different preset registry (a
+// renamed preset, a changed topology, a new capability) self-purges.
 func RegistryShape() []string {
 	out := make([]string, 0, len(presets))
 	for _, p := range presets {
-		m := p.mk()
-		out = append(out, fmt.Sprintf("%s caps=%s topo=%s mem=%s",
-			p.name, m.Caps(), m.Topo.String(), memName(m)))
+		shape, _ := PresetShape(p.name)
+		out = append(out, shape)
 	}
 	sort.Strings(out)
 	return out
+}
+
+// PresetShape returns the canonical shape line of one built-in preset:
+// its name, derived capability tags, topology, memory-model name, and
+// a content hash of every model parameter (the JSON encoding of the
+// fully constructed Model — link LogGP values, bandwidths, cache
+// levels, NUMA structure, all of it). core.FingerprintFor hashes the
+// shape of each preset an experiment can run on, so changing even one
+// link parameter invalidates exactly the cached results that could
+// have depended on it — and nothing else. Customs are deliberately not
+// addressable here: their identity is content-hashed into their name,
+// so a custom-qualified cache key can never silently change meaning.
+func PresetShape(name string) (string, bool) {
+	for _, p := range presets {
+		if p.name != name {
+			continue
+		}
+		m := p.mk()
+		b, err := json.Marshal(m)
+		if err != nil {
+			// Presets are static Go values; a marshal failure is a
+			// programming error, not an input error.
+			panic(fmt.Sprintf("cluster: preset %s shape marshal: %v", name, err))
+		}
+		sum := sha256.Sum256(b)
+		return fmt.Sprintf("%s caps=%s topo=%s mem=%s params=%x",
+			p.name, m.Caps(), m.Topo.String(), memName(m), sum[:16]), true
+	}
+	return "", false
 }
 
 // memName names the attached memory model, or "-" when absent.

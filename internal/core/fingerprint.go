@@ -1,56 +1,193 @@
 // Registry fingerprinting: a stable identity for "this binary serving
 // this registry", used by the disk-backed results cache to
 // self-invalidate when either changes (see internal/diskcache).
+//
+// Since the per-experiment split, the fingerprint is decomposed: each
+// experiment has its own FingerprintFor(id) hashing only what that
+// experiment's result can depend on, and the process-wide Fingerprint()
+// is the hash of the whole per-experiment map — equal exactly when
+// every experiment's fingerprint is, so stores use it as a cheap
+// "nothing changed" check before validating entries one by one. A
+// deploy that changes one experiment's dependencies invalidates that
+// experiment's cached results and nobody else's.
 package core
 
 import (
 	"crypto/sha256"
 	"fmt"
+	"os"
 	"runtime"
 	"runtime/debug"
+	"sort"
 
 	"repro/internal/cluster"
 )
 
-// Fingerprint hashes the build identity of the running binary together
-// with the shape of the experiment registry — the sorted experiment
-// (ID, kind, title, platform needs) tuples, the scale definitions, and
-// the platform preset registry (names, capability tags, topologies).
-// Two processes share a fingerprint exactly when they were built from
-// the same code and register the same experiments over the same
-// presets, which is the precondition for trusting each other's cached
-// results: a renamed preset or a changed capability set silently
-// changes what a (id, scale, platform) key means, so it must purge
-// the store.
+// Deploy-simulation hooks: when set, these environment variables salt
+// one slice of the fingerprint material, so the deploy-upgrade test
+// harness and the CI smoke job can stand in for a real dependency
+// change without rebuilding the binary. Unset (the normal case) they
+// contribute nothing.
 //
-// Build identity comes from runtime/debug.ReadBuildInfo: the main
-// module's path/version/sum and the VCS revision/time/dirty-flag
-// stamped into `go build` binaries, plus the Go toolchain version and
-// target platform. Binaries built without VCS stamping (go test, go
-// run of a dirty tree) still differ once the registry or toolchain
-// does; the registry hash is what guards the dominant failure mode —
-// an experiment's identity or set changing between writer and reader.
-func Fingerprint() string {
-	h := sha256.New()
-	fmt.Fprintln(h, "fingerprint/v1")
-	fmt.Fprintln(h, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+//	CHARHPC_FP_SALT_BUILD           salts the build identity (all experiments)
+//	CHARHPC_FP_SALT_SCALE           salts the scale definitions (all experiments)
+//	CHARHPC_FP_SALT_EXP_<ID>        salts one experiment's identity
+//	CHARHPC_FP_SALT_PLATFORM_<NAME> salts one preset's shape (every
+//	                                experiment that can run on it)
+const (
+	saltBuildEnv    = "CHARHPC_FP_SALT_BUILD"
+	saltScaleEnv    = "CHARHPC_FP_SALT_SCALE"
+	saltExpEnv      = "CHARHPC_FP_SALT_EXP_"
+	saltPlatformEnv = "CHARHPC_FP_SALT_PLATFORM_"
+)
+
+// Test seams: core's white-box fingerprint tests swap these to prove
+// that exactly the dependent experiments react to a preset-shape or
+// scale-definition change. Production never touches them.
+var (
+	fpPresetShape = cluster.PresetShape
+	fpScales      = func() []Scale { return []Scale{Quick, Full} }
+)
+
+// buildIdentity returns the build-identity lines shared by every
+// experiment's fingerprint: the Go toolchain and target platform, the
+// main module's path/version/sum, and any -tags the binary was built
+// with — the inputs that can change what ANY experiment computes.
+//
+// The VCS stamps (vcs.revision, vcs.time, vcs.modified) are
+// deliberately EXCLUDED — that exclusion is what per-experiment
+// invalidation exists for: redeploying the same registry from a new
+// commit must not cold-start the whole store. The compensating control
+// is the fingerprint-material golden test in this package: what each
+// experiment's result is allowed to depend on is pinned in review, so
+// a behavior change that matters is expected to surface in the
+// registry shape (an experiment's identity, a preset's parameters, a
+// scale definition), not hide behind a commit hash.
+func buildIdentity() []string {
+	lines := []string{
+		fmt.Sprintln("build", runtime.Version(), runtime.GOOS, runtime.GOARCH),
+	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
-		fmt.Fprintln(h, bi.Main.Path, bi.Main.Version, bi.Main.Sum)
+		lines = append(lines, fmt.Sprintln("build mod", bi.Main.Path, bi.Main.Version, bi.Main.Sum))
 		for _, s := range bi.Settings {
-			switch s.Key {
-			case "vcs.revision", "vcs.time", "vcs.modified", "-tags":
-				fmt.Fprintln(h, s.Key, s.Value)
+			if s.Key == "-tags" {
+				lines = append(lines, fmt.Sprintln("build tags", s.Value))
 			}
 		}
 	}
-	for _, e := range All() {
-		fmt.Fprintln(h, e.ID, e.Kind, e.Title, uint32(e.Needs), e.NoPlatform)
+	if salt := os.Getenv(saltBuildEnv); salt != "" {
+		lines = append(lines, fmt.Sprintln("build salt", salt))
 	}
-	for _, s := range []Scale{Quick, Full} {
-		fmt.Fprintln(h, int(s), s.String())
+	return lines
+}
+
+// FingerprintMaterial returns the registry-derived dependency material
+// of one experiment's fingerprint, one line per dependency: the
+// experiment's identity (ID, kind, title, Needs, platform axis), the
+// scale definitions it reads, and the canonical shape of each preset
+// it can run on. Everything a cached result for id may depend on —
+// other than the build identity, which is environment-specific and
+// therefore hashed separately — appears here, and ONLY what it may
+// depend on: the golden test in fingerprint_golden_test.go pins this
+// material for every registered experiment, so unintentional
+// dependency growth (or loss) fails review visibly. ok is false for an
+// unregistered id.
+func FingerprintMaterial(id string) ([]string, bool) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, false
 	}
-	for _, line := range cluster.RegistryShape() {
-		fmt.Fprintln(h, line)
+	lines := []string{
+		fmt.Sprintln("experiment", e.ID, e.Kind, e.Title, uint32(e.Needs), e.NoPlatform),
+	}
+	if salt := os.Getenv(saltExpEnv + e.ID); salt != "" {
+		lines = append(lines, fmt.Sprintln("experiment salt", salt))
+	}
+	for _, s := range fpScales() {
+		lines = append(lines, fmt.Sprintln("scale", int(s), s.String()))
+	}
+	if salt := os.Getenv(saltScaleEnv); salt != "" {
+		lines = append(lines, fmt.Sprintln("scale salt", salt))
+	}
+	// The preset shapes this experiment's results can depend on: every
+	// preset satisfying its Needs (which includes the canonical default
+	// set — canonical constructors are preset models). Custom platforms
+	// are deliberately absent: their identity is content-hashed into
+	// the custom-<hash> name itself, so a custom-qualified cache key
+	// can never silently mean a different machine.
+	presets := e.Platforms()
+	sort.Strings(presets)
+	for _, name := range presets {
+		shape, ok := fpPresetShape(name)
+		if !ok {
+			continue
+		}
+		lines = append(lines, fmt.Sprintln("preset", shape))
+		if salt := os.Getenv(saltPlatformEnv + name); salt != "" {
+			lines = append(lines, fmt.Sprintln("preset salt", name, salt))
+		}
+	}
+	return lines, true
+}
+
+// FingerprintFor hashes everything the identified experiment's cached
+// results can depend on — the build identity plus the experiment's
+// FingerprintMaterial. Two binaries agree on FingerprintFor(id)
+// exactly when a result one of them cached for id is still a valid
+// answer from the other; the disk cache stores it per entry and
+// validates per entry, so a deploy invalidates the delta instead of
+// the store. Empty for an unregistered id.
+func FingerprintFor(id string) string {
+	material, ok := FingerprintMaterial(id)
+	if !ok {
+		return ""
+	}
+	return hashExperiment(buildIdentity(), material)
+}
+
+// hashExperiment hashes one experiment's build identity + dependency
+// material into its fingerprint.
+func hashExperiment(build, material []string) string {
+	h := sha256.New()
+	fmt.Fprintln(h, "experiment-fingerprint/v2")
+	for _, line := range build {
+		fmt.Fprint(h, line)
+	}
+	for _, line := range material {
+		fmt.Fprint(h, line)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// Fingerprints returns every registered experiment's fingerprint,
+// keyed by ID — what a diskcache.Store validates entries against.
+func Fingerprints() map[string]string {
+	build := buildIdentity()
+	out := make(map[string]string, len(registry))
+	for id := range registry {
+		material, _ := FingerprintMaterial(id)
+		out[id] = hashExperiment(build, material)
+	}
+	return out
+}
+
+// Fingerprint is the process-wide registry fingerprint: the hash of
+// the sorted per-experiment fingerprint map. It changes exactly when
+// some experiment's FingerprintFor does (or an experiment appears or
+// disappears), so a store whose recorded Fingerprint matches the
+// caller's knows every entry is still valid without touching one —
+// the cheap "nothing changed" fast path across a no-op redeploy.
+func Fingerprint() string {
+	fps := Fingerprints()
+	ids := make([]string, 0, len(fps))
+	for id := range fps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	h := sha256.New()
+	fmt.Fprintln(h, "fingerprint/v2")
+	for _, id := range ids {
+		fmt.Fprintln(h, id, fps[id])
 	}
 	return fmt.Sprintf("%x", h.Sum(nil))
 }

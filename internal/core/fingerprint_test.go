@@ -3,6 +3,8 @@ package core
 import (
 	"regexp"
 	"testing"
+
+	"repro/internal/cluster"
 )
 
 func TestFingerprintStableWithinProcess(t *testing.T) {
@@ -39,5 +41,178 @@ func TestFingerprintTracksRegistry(t *testing.T) {
 	delete(registry, id)
 	if after := Fingerprint(); after != before {
 		t.Errorf("Fingerprint not restored after registry restore: %s vs %s", after, before)
+	}
+}
+
+// changedIDs diffs two per-experiment fingerprint maps and returns the
+// ids whose fingerprint moved (or appeared/disappeared).
+func changedIDs(before, after map[string]string) map[string]bool {
+	out := map[string]bool{}
+	for id, fp := range after {
+		if before[id] != fp {
+			out[id] = true
+		}
+	}
+	for id := range before {
+		if _, ok := after[id]; !ok {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// TestFingerprintForIsolatesExperimentChange is the per-experiment
+// independence property the whole PR rests on: mutating ONE
+// experiment's identity moves that experiment's fingerprint and
+// nobody else's, while the global Fingerprint still notices.
+func TestFingerprintForIsolatesExperimentChange(t *testing.T) {
+	before := Fingerprints()
+	globalBefore := Fingerprint()
+
+	orig := registry["T1"]
+	mut := orig
+	mut.Needs = orig.Needs ^ cluster.CapMemModel // flip one capability bit
+	registry["T1"] = mut
+	defer func() { registry["T1"] = orig }()
+
+	after := Fingerprints()
+	changed := changedIDs(before, after)
+	if !changed["T1"] {
+		t.Error("T1's fingerprint unchanged after mutating its Needs")
+	}
+	if len(changed) != 1 {
+		t.Errorf("Needs change on T1 moved %d fingerprints %v, want only T1", len(changed), changed)
+	}
+	if Fingerprint() == globalBefore {
+		t.Error("global Fingerprint unchanged after a per-experiment change")
+	}
+}
+
+// TestPresetShapeChangeInvalidatesExactlyDependents: perturbing one
+// preset's shape (as a link-parameter change would) moves exactly the
+// fingerprints of experiments that can run on that preset.
+func TestPresetShapeChangeInvalidatesExactlyDependents(t *testing.T) {
+	const preset = "gige-8n"
+	before := Fingerprints()
+
+	orig := fpPresetShape
+	fpPresetShape = func(name string) (string, bool) {
+		shape, ok := orig(name)
+		if ok && name == preset {
+			shape += " params=mutated"
+		}
+		return shape, ok
+	}
+	defer func() { fpPresetShape = orig }()
+
+	after := Fingerprints()
+	changed := changedIDs(before, after)
+	for id, e := range registry {
+		dependsOnPreset := false
+		for _, p := range e.Platforms() {
+			if p == preset {
+				dependsOnPreset = true
+			}
+		}
+		if dependsOnPreset && !changed[id] {
+			t.Errorf("%s can run on %s but its fingerprint did not move", id, preset)
+		}
+		if !dependsOnPreset && changed[id] {
+			t.Errorf("%s cannot run on %s but its fingerprint moved", id, preset)
+		}
+	}
+	if len(changed) == 0 {
+		t.Fatalf("no experiment depends on %s — the test proves nothing", preset)
+	}
+}
+
+// TestScaleDefChangeInvalidatesEverything: the scale definitions are a
+// dependency of every experiment, so redefining them moves every
+// fingerprint.
+func TestScaleDefChangeInvalidatesEverything(t *testing.T) {
+	before := Fingerprints()
+	orig := fpScales
+	fpScales = func() []Scale { return []Scale{Quick} } // Full dropped
+	defer func() { fpScales = orig }()
+	after := Fingerprints()
+	changed := changedIDs(before, after)
+	if len(changed) != len(registry) {
+		t.Errorf("scale-def change moved %d of %d fingerprints", len(changed), len(registry))
+	}
+}
+
+// Salt hooks: the env-driven stand-ins the deploy-upgrade harness and
+// the CI smoke job use to simulate each mutation axis without editing
+// source. Each salt must perturb exactly the slice its axis owns.
+func TestSaltHooks(t *testing.T) {
+	depsOf := func(preset string) map[string]bool {
+		out := map[string]bool{}
+		for id, e := range registry {
+			for _, p := range e.Platforms() {
+				if p == preset {
+					out[id] = true
+				}
+			}
+		}
+		return out
+	}
+	allIDs := func() map[string]bool {
+		out := map[string]bool{}
+		for id := range registry {
+			out[id] = true
+		}
+		return out
+	}
+
+	cases := []struct {
+		name string
+		env  string
+		want map[string]bool // ids whose fingerprint must move
+	}{
+		{"experiment", saltExpEnv + "T1", map[string]bool{"T1": true}},
+		{"build", saltBuildEnv, allIDs()},
+		{"scale", saltScaleEnv, allIDs()},
+		{"platform", saltPlatformEnv + "gige-8n", depsOf("gige-8n")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := Fingerprints()
+			t.Setenv(tc.env, "deploy-simulation")
+			changed := changedIDs(before, Fingerprints())
+			for id := range tc.want {
+				if !changed[id] {
+					t.Errorf("salt %s: %s's fingerprint did not move", tc.env, id)
+				}
+			}
+			for id := range changed {
+				if !tc.want[id] {
+					t.Errorf("salt %s: %s's fingerprint moved but should not have", tc.env, id)
+				}
+			}
+		})
+	}
+}
+
+// TestFingerprintForUnregistered pins the empty-string contract.
+func TestFingerprintForUnregistered(t *testing.T) {
+	if fp := FingerprintFor("no-such-experiment"); fp != "" {
+		t.Errorf("FingerprintFor(unregistered) = %q, want empty", fp)
+	}
+	if _, ok := FingerprintMaterial("no-such-experiment"); ok {
+		t.Error("FingerprintMaterial(unregistered) reported ok")
+	}
+}
+
+// TestFingerprintsAgreeWithFingerprintFor: the bulk map and the
+// single-id path must be the same hash.
+func TestFingerprintsAgreeWithFingerprintFor(t *testing.T) {
+	fps := Fingerprints()
+	if len(fps) != len(registry) {
+		t.Fatalf("Fingerprints has %d entries for %d experiments", len(fps), len(registry))
+	}
+	for id, fp := range fps {
+		if one := FingerprintFor(id); one != fp {
+			t.Errorf("%s: Fingerprints()=%s but FingerprintFor=%s", id, fp[:12], one[:12])
+		}
 	}
 }

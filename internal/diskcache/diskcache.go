@@ -5,7 +5,7 @@
 // A Store is a flat directory of entry files, one per
 // (experiment id, scale, platform, content type), each carrying the
 // rendered body, its strong ETag, the run's wall time, and the
-// registry fingerprint of the binary that wrote it. Correctness
+// fingerprint of the experiment that produced it. Correctness
 // properties:
 //
 //   - Crash safety: entries are written to a temp file, fsynced, and
@@ -13,10 +13,22 @@
 //   - Corrupt-entry recovery: every body is checksummed at write time;
 //     a truncated or bit-rotted file fails validation on Get, is
 //     deleted, and reads as a miss (the caller re-runs and re-writes).
-//   - Self-invalidation: Open purges the directory when the stored
-//     fingerprint differs from the caller's, and Get rejects entries
-//     whose embedded fingerprint differs — stale results from an older
-//     binary or registry shape can never be served.
+//   - Incremental self-invalidation: every entry embeds the
+//     per-experiment fingerprint (Fingerprints.For) of the binary that
+//     wrote it. When the store's recorded generation matches the
+//     caller's global fingerprint, nothing changed and every entry is
+//     kept; when it differs, Open walks the entries and removes ONLY
+//     those whose experiment fingerprint no longer validates — a
+//     deploy that changed one experiment cold-starts that experiment,
+//     not the store. Get re-validates per entry, so stale results can
+//     never be served even mid-race.
+//   - Format migration: entry files carry a format version. Legacy
+//     (pre-versioning) entries embedded the whole-store fingerprint;
+//     Open validates each against the store's recorded legacy
+//     generation once and rewrites it in the current format under its
+//     experiment's fingerprint. The rewrite is atomic, so a crash
+//     mid-migration leaves either the old valid file (re-migrated on
+//     the next Open) or the new valid file — never corruption.
 //   - Bounded size: with a positive maxBytes budget, Put evicts the
 //     least-recently-used (id, scale, platform) groups (Get touches
 //     the file's mtime; a group is as recent as its newest member)
@@ -48,6 +60,48 @@ const (
 	fpFile   = "FINGERPRINT"
 )
 
+// entryFormat is the current on-disk entry format version. Version 2
+// introduced the per-experiment fingerprint; legacy entries (no format
+// field) embedded the whole-store fingerprint and are migrated by
+// Open. Entries from a FUTURE format are treated as misses but never
+// deleted on Get — they may be a newer sibling binary's valid work.
+const entryFormat = 2
+
+// Fingerprints carries the caller's registry identity at both
+// granularities: Global is the hash of the whole per-experiment map
+// (the store's cheap "nothing changed" generation marker), and PerID
+// maps each experiment to the fingerprint its entries must embed.
+// An ID absent from PerID falls back to Global — a store opened with
+// only a Global fingerprint degenerates to the legacy whole-store
+// semantics, which is what the simpler tests and tools want.
+type Fingerprints struct {
+	Global string
+	PerID  map[string]string
+}
+
+// For returns the fingerprint entries for the given experiment must
+// embed to validate.
+func (f Fingerprints) For(id string) string {
+	if fp, ok := f.PerID[id]; ok {
+		return fp
+	}
+	return f.Global
+}
+
+// Invalidation reasons, as counted by the store and exposed by serve
+// as charhpc_cache_invalidated_total{reason=...}.
+const (
+	// ReasonExperiment: the entry's experiment fingerprint no longer
+	// matches — its dependencies changed across a deploy.
+	ReasonExperiment = "experiment"
+	// ReasonFormat: the entry's format is not one this binary writes —
+	// a legacy entry that could not be migrated, or an unknown version.
+	ReasonFormat = "format"
+	// ReasonChecksum: the entry failed integrity validation — corrupt,
+	// truncated, misnamed, or unparseable.
+	ReasonChecksum = "checksum"
+)
+
 // Key identifies one persisted representation: which experiment, at
 // which scale, on which platform preset ("" is the experiment's
 // default platform set), rendered as which media type (e.g.
@@ -73,10 +127,13 @@ type Entry struct {
 }
 
 // fileEntry is the on-disk JSON form of an Entry plus everything
-// needed to validate it independently of the caller: its own key (so
-// a renamed file can't impersonate another), the writer's fingerprint,
-// and a body checksum.
+// needed to validate it independently of the caller: the format
+// version (the entry header — absent means legacy v1), its own key
+// (so a renamed file can't impersonate another), the writer's
+// per-experiment fingerprint (whole-store fingerprint in legacy
+// entries), and a body checksum.
 type fileEntry struct {
+	Format      int    `json:"format,omitempty"`
 	Fingerprint string `json:"fingerprint"`
 	ID          string `json:"id"`
 	Scale       string `json:"scale"`
@@ -94,11 +151,16 @@ type fileEntry struct {
 // per-entry validation, by multiple processes sharing the directory.
 type Store struct {
 	dir       string
-	fp        string
+	fps       Fingerprints
 	maxBytes  int64
 	customMax int64      // custom-platform namespace budget; 0 inherits maxBytes
-	mu        sync.Mutex // serializes in-process eviction scans
+	mu        sync.Mutex // serializes eviction scans and invalidation accounting
 	met       Metrics    // optional telemetry sinks; zero value is all no-ops
+	metSet    bool
+	pending   map[string]int64 // invalidations counted before SetMetrics wired sinks
+
+	stalePurged int64 // entries removed by Open's generation reconcile
+	migrated    int64 // legacy entries rewritten in the current format by Open
 }
 
 // customPlatformPrefix mirrors cluster.CustomPrefix without importing
@@ -123,46 +185,104 @@ func isCustomEntry(name string) bool {
 
 // Metrics is the store's optional telemetry: set any subset of sinks
 // with SetMetrics and the store reports operation latencies, body
-// bytes moved, and evictions into them. Unset (nil) instruments are
-// no-ops — obs instruments are nil-safe — so partial wiring costs
-// nothing.
+// bytes moved, evictions, and per-reason invalidations into them.
+// Unset (nil) instruments are no-ops — obs instruments are nil-safe —
+// so partial wiring costs nothing.
 type Metrics struct {
 	GetSeconds *obs.Histogram // latency of every Get (hit or miss)
 	PutSeconds *obs.Histogram // latency of every Put (write + eviction scan)
 	GetBytes   *obs.Counter   // body bytes served from disk (hits only)
 	PutBytes   *obs.Counter   // body bytes written to disk
 	Evictions  *obs.Counter   // entry files removed by the LRU budget
+
+	// Per-reason invalidation counters (ReasonExperiment, ReasonFormat,
+	// ReasonChecksum). Invalidations that happened before SetMetrics —
+	// Open's generation reconcile runs first — are flushed into the
+	// counters when they are wired, so a scrape sees the startup purge.
+	InvalidatedExperiment *obs.Counter
+	InvalidatedFormat     *obs.Counter
+	InvalidatedChecksum   *obs.Counter
 }
 
-// SetMetrics wires the store's telemetry sinks. Call once, before the
-// store is shared across goroutines.
-func (st *Store) SetMetrics(m Metrics) { st.met = m }
+// SetMetrics wires the store's telemetry sinks and flushes
+// invalidations counted before wiring (Open runs before SetMetrics).
+// Call once, before the store is shared across goroutines.
+func (st *Store) SetMetrics(m Metrics) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.met = m
+	st.metSet = true
+	for reason, n := range st.pending {
+		st.invalCounter(reason).Add(n)
+	}
+	st.pending = nil
+}
+
+// invalCounter maps a reason to its wired counter. Callers hold st.mu
+// or run before the store is shared.
+func (st *Store) invalCounter(reason string) *obs.Counter {
+	switch reason {
+	case ReasonExperiment:
+		return st.met.InvalidatedExperiment
+	case ReasonFormat:
+		return st.met.InvalidatedFormat
+	default:
+		return st.met.InvalidatedChecksum
+	}
+}
+
+// noteInvalidated counts one invalidated entry under its reason,
+// buffering until SetMetrics wires real counters.
+func (st *Store) noteInvalidated(reason string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.metSet {
+		st.invalCounter(reason).Inc()
+		return
+	}
+	if st.pending == nil {
+		st.pending = map[string]int64{}
+	}
+	st.pending[reason]++
+}
 
 // Open roots a Store at dir (created if absent) for a binary with the
-// given registry fingerprint. If the directory was last written under
-// a different fingerprint, every entry is purged — the whole store
-// self-invalidates when the code or registry changes. A positive
-// maxBytes bounds the total entry size via LRU eviction; 0 means
-// unbounded.
-func Open(dir, fingerprint string, maxBytes int64) (*Store, error) {
-	if fingerprint == "" {
+// given fingerprints. If the directory's recorded generation matches
+// fps.Global, nothing changed and every entry is kept untouched (the
+// fast path across a no-op restart). Otherwise Open reconciles the
+// delta: entries whose per-experiment fingerprint still validates are
+// kept, legacy-format entries that validate against the recorded old
+// generation are migrated in place, and only the rest are purged —
+// StalePurged reports how many. A positive maxBytes bounds the total
+// entry size via LRU eviction; 0 means unbounded.
+func Open(dir string, fps Fingerprints, maxBytes int64) (*Store, error) {
+	if fps.Global == "" {
 		return nil, fmt.Errorf("diskcache: empty fingerprint")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("diskcache: %w", err)
 	}
-	st := &Store{dir: dir, fp: fingerprint, maxBytes: maxBytes}
+	st := &Store{dir: dir, fps: fps, maxBytes: maxBytes}
 	st.sweepTemps()
 	prev, err := os.ReadFile(filepath.Join(dir, fpFile))
 	switch {
-	case err == nil && string(prev) == fingerprint:
-		// Same writer generation: keep the entries.
+	case err == nil && string(prev) == fps.Global:
+		// Same generation: every entry is still valid; keep them all.
 	default:
-		// New directory or a fingerprint change: start empty.
-		if err := st.Purge(); err != nil {
+		// New directory or a generation change: reconcile entry by
+		// entry instead of purging the store, then record the new
+		// generation. The marker is written LAST, so a crash mid-
+		// reconcile re-runs it on the next Open — every step is
+		// idempotent (validated entries validate again, migrated
+		// entries are already current-format, removals are removals).
+		old := ""
+		if err == nil {
+			old = string(prev)
+		}
+		if err := st.reconcile(old); err != nil {
 			return nil, err
 		}
-		if err := st.writeFile(fpFile, []byte(fingerprint)); err != nil {
+		if err := st.writeFile(fpFile, []byte(fps.Global)); err != nil {
 			return nil, err
 		}
 	}
@@ -170,17 +290,96 @@ func Open(dir, fingerprint string, maxBytes int64) (*Store, error) {
 	return st, nil
 }
 
+// reconcile walks every entry after a generation change, keeping the
+// still-valid, migrating the legacy-valid, and removing the rest:
+//
+//   - current-format entries whose embedded fingerprint equals the
+//     caller's For(id) are untouched — the deploy didn't change their
+//     experiment;
+//   - legacy (unversioned) entries are validated against the store's
+//     recorded old generation marker once, then atomically rewritten
+//     in the current format under their experiment's fingerprint;
+//   - everything else — stale experiments, unmigratable or unknown
+//     formats, corrupt bodies — is removed and counted by reason.
+func (st *Store) reconcile(oldGeneration string) error {
+	for _, de := range st.readDir() {
+		name := de.Name()
+		if !strings.HasSuffix(name, entryExt) {
+			continue
+		}
+		path := filepath.Join(st.dir, name)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			continue // removed under us by a sibling process
+		}
+		var f fileEntry
+		if err := json.Unmarshal(b, &f); err != nil {
+			st.dropStale(path, ReasonChecksum)
+			continue
+		}
+		if name != entryName(Key{f.ID, f.Scale, f.Platform, f.ContentType}) ||
+			f.SHA256 != bodySum(f.Body) {
+			st.dropStale(path, ReasonChecksum)
+			continue
+		}
+		switch {
+		case f.Format == entryFormat:
+			if f.Fingerprint != st.fps.For(f.ID) {
+				st.dropStale(path, ReasonExperiment)
+			}
+		case f.Format == 0 && oldGeneration != "" && f.Fingerprint == oldGeneration:
+			// A legacy entry of the store's own previous generation:
+			// still trustworthy (legacy stores purged wholesale on any
+			// change, so matching the marker means nothing had changed
+			// when it was written). Re-stamp it under its experiment's
+			// current fingerprint, atomically.
+			f.Format = entryFormat
+			f.Fingerprint = st.fps.For(f.ID)
+			nb, err := json.Marshal(f)
+			if err != nil {
+				return fmt.Errorf("diskcache: %w", err)
+			}
+			if err := st.writeFile(name, append(nb, '\n')); err != nil {
+				return err
+			}
+			st.migrated++
+		default:
+			st.dropStale(path, ReasonFormat)
+		}
+	}
+	return nil
+}
+
+// dropStale removes one entry during reconcile, counting it as both an
+// invalidation (by reason) and a stale purge.
+func (st *Store) dropStale(path, reason string) {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return
+	}
+	st.stalePurged++
+	st.noteInvalidated(reason)
+}
+
 // Dir returns the store's root directory.
 func (st *Store) Dir() string { return st.dir }
 
-// Fingerprint returns the registry fingerprint the store validates
-// entries against.
-func (st *Store) Fingerprint() string { return st.fp }
+// Fingerprint returns the global registry fingerprint the store uses
+// as its generation marker.
+func (st *Store) Fingerprint() string { return st.fps.Global }
+
+// StalePurged reports how many entries Open's generation reconcile
+// removed — the keys a deploy actually invalidated. Zero after a
+// same-generation open. Served on /healthz as stale_purged=N.
+func (st *Store) StalePurged() int64 { return st.stalePurged }
+
+// Migrated reports how many legacy-format entries Open rewrote in the
+// current format.
+func (st *Store) Migrated() int64 { return st.migrated }
 
 // Get loads the entry for k. Missing, corrupt (failed checksum or
-// parse), mismatched-key, or stale-fingerprint files all read as a
-// miss; invalid files are deleted so the slot heals on the next Put.
-// A hit refreshes the file's access time for LRU eviction.
+// parse), mismatched-key, wrong-format, or stale-fingerprint files all
+// read as a miss; corrupt files are deleted so the slot heals on the
+// next Put. A hit refreshes the file's access time for LRU eviction.
 func (st *Store) Get(k Key) (Entry, bool) {
 	defer st.met.GetSeconds.ObserveSince(time.Now())
 	path := filepath.Join(st.dir, entryName(k))
@@ -191,13 +390,23 @@ func (st *Store) Get(k Key) (Entry, bool) {
 	var f fileEntry
 	if err := json.Unmarshal(b, &f); err != nil {
 		os.Remove(path)
+		st.noteInvalidated(ReasonChecksum)
 		return Entry{}, false
 	}
-	if f.Fingerprint != st.fp {
+	if f.Format != entryFormat {
+		// A legacy or future-format entry: a miss, but NOT a delete —
+		// in a shared directory it may be another generation's valid
+		// work; Open's reconcile is where retired formats are migrated
+		// or purged.
+		st.noteInvalidated(ReasonFormat)
+		return Entry{}, false
+	}
+	if f.Fingerprint != st.fps.For(f.ID) {
 		// A miss, but NOT a delete: in a shared directory this may be
 		// another (newer) binary's perfectly valid entry — destroying
 		// it would discard that writer's completed runs. Stale files
 		// of a retired generation are purged by the next Open.
+		st.noteInvalidated(ReasonExperiment)
 		return Entry{}, false
 	}
 	if f.ID != k.ID || f.Scale != k.Scale || f.Platform != k.Platform ||
@@ -205,6 +414,7 @@ func (st *Store) Get(k Key) (Entry, bool) {
 		// Corrupt or misnamed: valid for nobody, so deleting heals
 		// the slot for every sharer.
 		os.Remove(path)
+		st.noteInvalidated(ReasonChecksum)
 		return Entry{}, false
 	}
 	now := time.Now()
@@ -214,13 +424,14 @@ func (st *Store) Get(k Key) (Entry, bool) {
 }
 
 // Put persists the entry for k atomically (temp file + fsync +
-// rename), then evicts least-recently-used entries if the directory
-// exceeds the size budget. The just-written entry is never evicted by
-// its own Put.
+// rename), stamped with k's experiment fingerprint, then evicts
+// least-recently-used entries if the directory exceeds the size
+// budget. The just-written entry is never evicted by its own Put.
 func (st *Store) Put(k Key, e Entry) error {
 	defer st.met.PutSeconds.ObserveSince(time.Now())
 	f := fileEntry{
-		Fingerprint: st.fp,
+		Format:      entryFormat,
+		Fingerprint: st.fps.For(k.ID),
 		ID:          k.ID,
 		Scale:       k.Scale,
 		Platform:    k.Platform,

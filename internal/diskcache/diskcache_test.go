@@ -18,7 +18,7 @@ func testEntry(body string) Entry {
 
 func mustOpen(t *testing.T, dir, fp string, maxBytes int64) *Store {
 	t.Helper()
-	st, err := Open(dir, fp, maxBytes)
+	st, err := Open(dir, Fingerprints{Global: fp}, maxBytes)
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
@@ -92,7 +92,7 @@ func TestStaleEmbeddedFingerprintRejectedOnGet(t *testing.T) {
 	}
 	// Simulate the race: a Store whose fingerprint differs from the
 	// entry's, without going through Open's purge.
-	racer := &Store{dir: dir, fp: "fp-new"}
+	racer := &Store{dir: dir, fps: Fingerprints{Global: "fp-new"}}
 	if _, ok := racer.Get(testKey); ok {
 		t.Error("entry with stale embedded fingerprint was served")
 	}
@@ -371,7 +371,7 @@ func TestEntryNameEscaping(t *testing.T) {
 }
 
 func TestOpenRejectsEmptyFingerprint(t *testing.T) {
-	if _, err := Open(t.TempDir(), "", 0); err == nil {
+	if _, err := Open(t.TempDir(), Fingerprints{}, 0); err == nil {
 		t.Error("Open accepted an empty fingerprint")
 	}
 }

@@ -1,0 +1,376 @@
+// Entry format v2 tests: per-experiment selective invalidation on
+// Open, legacy-entry migration, and — extending the crash-scenario
+// suite — every state a crash mid-migration can leave behind. The
+// invariant under test throughout: a deploy invalidates exactly the
+// delta, and nothing a crash leaves on disk is ever served stale or
+// reported as corruption.
+package diskcache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// writeLegacyEntry plants a pre-versioning (format-absent) entry file
+// as the old binary would have written it: whole-store fingerprint,
+// no format field.
+func writeLegacyEntry(t *testing.T, dir, storeFP string, k Key, body string) {
+	t.Helper()
+	e := testEntry(body)
+	f := fileEntry{
+		Fingerprint: storeFP,
+		ID:          k.ID,
+		Scale:       k.Scale,
+		Platform:    k.Platform,
+		ContentType: k.ContentType,
+		ETag:        e.ETag,
+		ElapsedNS:   int64(e.Elapsed),
+		SHA256:      bodySum(e.Body),
+		Body:        e.Body,
+	}
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, entryName(k)), append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeMarker plants the store's FINGERPRINT generation marker.
+func writeMarker(t *testing.T, dir, fp string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, fpFile), []byte(fp), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func perIDFingerprints(global string, ids map[string]string) Fingerprints {
+	return Fingerprints{Global: global, PerID: ids}
+}
+
+// TestSelectiveInvalidationOnOpen is the tentpole behavior at the
+// store level: a generation change purges exactly the experiments
+// whose fingerprint moved, and the survivors still hit.
+func TestSelectiveInvalidationOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	keyA := Key{ID: "A", Scale: "quick", ContentType: "text/plain"}
+	keyAjson := Key{ID: "A", Scale: "quick", ContentType: "application/json"}
+	keyB := Key{ID: "B", Scale: "quick", ContentType: "text/plain"}
+
+	st := mustOpenFPS(t, dir, perIDFingerprints("gen1", map[string]string{"A": "fpA1", "B": "fpB1"}), 0)
+	for _, k := range []Key{keyA, keyAjson, keyB} {
+		if err := st.Put(k, testEntry("body of "+k.ID+"/"+k.ContentType)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Deploy: experiment A's dependencies changed, B's did not.
+	st2 := mustOpenFPS(t, dir, perIDFingerprints("gen2", map[string]string{"A": "fpA2", "B": "fpB1"}), 0)
+	if n := st2.StalePurged(); n != 2 {
+		t.Errorf("StalePurged = %d, want 2 (both A representations)", n)
+	}
+	if _, ok := st2.Get(keyA); ok {
+		t.Error("invalidated experiment A still served")
+	}
+	if _, ok := st2.Get(keyAjson); ok {
+		t.Error("invalidated experiment A (json) still served")
+	}
+	if got, ok := st2.Get(keyB); !ok || string(got.Body) != "body of B/text/plain" {
+		t.Errorf("unaffected experiment B lost: ok=%v body=%q", ok, got.Body)
+	}
+	if n := st2.Len(); n != 1 {
+		t.Errorf("Len = %d after selective purge, want 1", n)
+	}
+}
+
+// TestSameGenerationOpenPurgesNothing pins the fast path: matching
+// Global marker means zero entry reads, zero purges.
+func TestSameGenerationOpenPurgesNothing(t *testing.T) {
+	dir := t.TempDir()
+	fps := perIDFingerprints("gen1", map[string]string{"T1": "fpT1"})
+	st := mustOpenFPS(t, dir, fps, 0)
+	if err := st.Put(testKey, testEntry("stays")); err != nil {
+		t.Fatal(err)
+	}
+	st2 := mustOpenFPS(t, dir, fps, 0)
+	if n := st2.StalePurged(); n != 0 {
+		t.Errorf("StalePurged = %d on same-generation open, want 0", n)
+	}
+	if _, ok := st2.Get(testKey); !ok {
+		t.Error("entry lost across same-generation reopen")
+	}
+}
+
+// TestLegacyEntryMigratedOnOpen: a pre-versioning entry matching the
+// store's recorded old generation is rewritten in the current format
+// under its experiment's fingerprint — and then HITS, where the old
+// code would have purged the store.
+func TestLegacyEntryMigratedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	writeLegacyEntry(t, dir, "legacy-gen", testKey, "v1 era result")
+	writeMarker(t, dir, "legacy-gen")
+
+	st := mustOpenFPS(t, dir, perIDFingerprints("gen2", map[string]string{"T1": "fpT1"}), 0)
+	if n := st.Migrated(); n != 1 {
+		t.Errorf("Migrated = %d, want 1", n)
+	}
+	if n := st.StalePurged(); n != 0 {
+		t.Errorf("StalePurged = %d, want 0 (migration is not a purge)", n)
+	}
+	if got, ok := st.Get(testKey); !ok || string(got.Body) != "v1 era result" {
+		t.Fatalf("migrated entry: ok=%v body=%q", ok, got.Body)
+	}
+	// The rewrite is durable: on disk, the entry now carries the
+	// current format and the per-experiment fingerprint.
+	b, err := os.ReadFile(filepath.Join(dir, entryName(testKey)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f fileEntry
+	if err := json.Unmarshal(b, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Format != entryFormat || f.Fingerprint != "fpT1" {
+		t.Errorf("on-disk entry after migration: format=%d fp=%q, want format=%d fp=%q",
+			f.Format, f.Fingerprint, entryFormat, "fpT1")
+	}
+}
+
+// TestLegacyEntryFromForeignGenerationPurged: a legacy entry whose
+// embedded fingerprint does NOT match the recorded old generation
+// cannot be trusted (legacy stores guaranteed entries matched their
+// marker; a mismatch means a raced or corrupted history) and is
+// removed as a format invalidation.
+func TestLegacyEntryFromForeignGenerationPurged(t *testing.T) {
+	dir := t.TempDir()
+	writeLegacyEntry(t, dir, "some-other-gen", testKey, "untrusted")
+	writeMarker(t, dir, "legacy-gen")
+
+	st := mustOpenFPS(t, dir, perIDFingerprints("gen2", nil), 0)
+	if n := st.StalePurged(); n != 1 {
+		t.Errorf("StalePurged = %d, want 1", n)
+	}
+	if _, ok := st.Get(testKey); ok {
+		t.Error("foreign-generation legacy entry served")
+	}
+}
+
+// TestLegacyEntryWithoutMarkerPurged: with no recorded old generation
+// (first versioned open of a marker-less directory) legacy entries
+// have nothing to validate against and are purged, not migrated.
+func TestLegacyEntryWithoutMarkerPurged(t *testing.T) {
+	dir := t.TempDir()
+	writeLegacyEntry(t, dir, "legacy-gen", testKey, "unverifiable")
+
+	st := mustOpenFPS(t, dir, perIDFingerprints("gen2", nil), 0)
+	if n := st.StalePurged(); n != 1 {
+		t.Errorf("StalePurged = %d, want 1", n)
+	}
+	if _, ok := st.Get(testKey); ok {
+		t.Error("unverifiable legacy entry served")
+	}
+}
+
+// Crash-during-migration states. The migration writes the rewritten
+// entry to a temp file, fsyncs, renames, and only after the whole
+// reconcile writes the new FINGERPRINT marker — so a kill at any
+// instant leaves one of three states, each of which the next open
+// handles without serving stale bytes or reporting corruption.
+
+// State 1: killed before the rename — orphan temp file, legacy entry
+// intact, marker still old. The next open simply re-runs the
+// migration; the entry comes back as a HIT.
+func TestCrashBeforeMigrationRenameSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	writeLegacyEntry(t, dir, "legacy-gen", testKey, "survives the crash")
+	writeMarker(t, dir, "legacy-gen")
+	// The killed writer's half-written temp.
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-killed"), []byte(`{"format":2,"trunc`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := mustOpenFPS(t, dir, perIDFingerprints("gen2", map[string]string{"T1": "fpT1"}), 0)
+	if got, ok := st.Get(testKey); !ok || string(got.Body) != "survives the crash" {
+		t.Errorf("re-migrated entry: ok=%v body=%q", ok, got.Body)
+	}
+	if n := st.Migrated(); n != 1 {
+		t.Errorf("Migrated = %d, want 1", n)
+	}
+}
+
+// State 2: killed after some renames but before the marker — a mix of
+// migrated and legacy entries under the old marker. The next open
+// keeps the already-migrated (their per-experiment fingerprint
+// validates), migrates the rest, and ends fully consistent.
+func TestCrashMidReconcileResumesIdempotently(t *testing.T) {
+	dir := t.TempDir()
+	fps := perIDFingerprints("gen2", map[string]string{"A": "fpA", "B": "fpB"})
+	keyA := Key{ID: "A", Scale: "quick", ContentType: "text/plain"}
+	keyB := Key{ID: "B", Scale: "quick", ContentType: "text/plain"}
+	writeLegacyEntry(t, dir, "legacy-gen", keyB, "still legacy")
+	writeMarker(t, dir, "legacy-gen")
+	// A was already migrated before the kill: plant its current-format
+	// entry directly.
+	{
+		e := testEntry("already migrated")
+		f := fileEntry{Format: entryFormat, Fingerprint: "fpA", ID: keyA.ID, Scale: keyA.Scale,
+			ContentType: keyA.ContentType, ETag: e.ETag, ElapsedNS: int64(e.Elapsed),
+			SHA256: bodySum(e.Body), Body: e.Body}
+		b, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, entryName(keyA)), append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := mustOpenFPS(t, dir, fps, 0)
+	if got, ok := st.Get(keyA); !ok || string(got.Body) != "already migrated" {
+		t.Errorf("pre-migrated entry: ok=%v body=%q", ok, got.Body)
+	}
+	if got, ok := st.Get(keyB); !ok || string(got.Body) != "still legacy" {
+		t.Errorf("resumed-migration entry: ok=%v body=%q", ok, got.Body)
+	}
+	if n := st.StalePurged(); n != 0 {
+		t.Errorf("StalePurged = %d, want 0", n)
+	}
+}
+
+// State 3: the legacy entry itself is truncated (external corruption
+// discovered during migration). The next open drops it as a checksum
+// invalidation — a MISS, never a parse error surfaced to callers.
+func TestCrashLeavesTruncatedLegacyEntryReadsAsMiss(t *testing.T) {
+	dir := t.TempDir()
+	writeLegacyEntry(t, dir, "legacy-gen", testKey, "about to be cut short")
+	writeMarker(t, dir, "legacy-gen")
+	path := filepath.Join(dir, entryName(testKey))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := mustOpenFPS(t, dir, perIDFingerprints("gen2", nil), 0)
+	if _, ok := st.Get(testKey); ok {
+		t.Error("truncated legacy entry served")
+	}
+	if n := st.StalePurged(); n != 1 {
+		t.Errorf("StalePurged = %d, want 1 (checksum drop)", n)
+	}
+	// The slot healed: a fresh Put round-trips.
+	if err := st.Put(testKey, testEntry("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := st.Get(testKey); !ok || string(got.Body) != "fresh" {
+		t.Errorf("healed slot: ok=%v body=%q", ok, got.Body)
+	}
+}
+
+// TestFutureFormatEntryIsMissNotDelete: an entry from a format this
+// binary doesn't know (a newer sibling's work in a shared directory)
+// reads as a miss on Get but is never destroyed.
+func TestFutureFormatEntryIsMissNotDelete(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpenFPS(t, dir, perIDFingerprints("gen1", nil), 0)
+	e := testEntry("from the future")
+	f := fileEntry{Format: entryFormat + 1, Fingerprint: "whatever", ID: testKey.ID,
+		Scale: testKey.Scale, ContentType: testKey.ContentType, ETag: e.ETag,
+		ElapsedNS: int64(e.Elapsed), SHA256: bodySum(e.Body), Body: e.Body}
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, entryName(testKey))
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(testKey); ok {
+		t.Error("future-format entry served")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("future-format entry deleted on Get: %v", err)
+	}
+}
+
+// TestInvalidationMetricsFlushAfterOpen: reasons counted during Open's
+// reconcile (which necessarily runs before SetMetrics can) land in the
+// wired counters, so a post-startup scrape sees the purge.
+func TestInvalidationMetricsFlushAfterOpen(t *testing.T) {
+	dir := t.TempDir()
+	keyA := Key{ID: "A", Scale: "quick", ContentType: "text/plain"}
+	keyB := Key{ID: "B", Scale: "quick", ContentType: "text/plain"}
+	st := mustOpenFPS(t, dir, perIDFingerprints("gen1", map[string]string{"A": "fpA1", "B": "fpB1"}), 0)
+	for _, k := range []Key{keyA, keyB} {
+		if err := st.Put(k, testEntry("gen1 "+k.ID)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt B so the reconcile counts one checksum drop alongside A's
+	// experiment drop.
+	if err := os.Truncate(filepath.Join(dir, entryName(keyB)), 10); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpenFPS(t, dir, perIDFingerprints("gen2", map[string]string{"A": "fpA2", "B": "fpB1"}), 0)
+	reg := obs.NewRegistry()
+	exp := reg.Counter("inval", "", obs.L("reason", ReasonExperiment))
+	form := reg.Counter("inval", "", obs.L("reason", ReasonFormat))
+	sum := reg.Counter("inval", "", obs.L("reason", ReasonChecksum))
+	st2.SetMetrics(Metrics{
+		InvalidatedExperiment: exp,
+		InvalidatedFormat:     form,
+		InvalidatedChecksum:   sum,
+	})
+	if got := exp.Value(); got != 1 {
+		t.Errorf("experiment invalidations = %d, want 1", got)
+	}
+	if got := form.Value(); got != 0 {
+		t.Errorf("format invalidations = %d, want 0", got)
+	}
+	if got := sum.Value(); got != 1 {
+		t.Errorf("checksum invalidations = %d, want 1", got)
+	}
+	// Post-wire invalidations count directly: plant a stale-fp entry
+	// and Get it.
+	writeCurrentEntry(t, dir, "fpA-stale", keyA, "stale")
+	if _, ok := st2.Get(keyA); ok {
+		t.Fatal("stale entry served")
+	}
+	if got := exp.Value(); got != 2 {
+		t.Errorf("experiment invalidations after stale Get = %d, want 2", got)
+	}
+}
+
+// writeCurrentEntry plants a current-format entry with an arbitrary
+// fingerprint, bypassing Put's stamping.
+func writeCurrentEntry(t *testing.T, dir, fp string, k Key, body string) {
+	t.Helper()
+	e := testEntry(body)
+	f := fileEntry{Format: entryFormat, Fingerprint: fp, ID: k.ID, Scale: k.Scale,
+		Platform: k.Platform, ContentType: k.ContentType, ETag: e.ETag,
+		ElapsedNS: int64(e.Elapsed), SHA256: bodySum(e.Body), Body: e.Body}
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, entryName(k)), append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustOpenFPS(t *testing.T, dir string, fps Fingerprints, maxBytes int64) *Store {
+	t.Helper()
+	st, err := Open(dir, fps, maxBytes)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return st
+}

@@ -1,0 +1,359 @@
+// The deploy-upgrade test harness: table-driven "simulated deploy"
+// tests that warm a disk store under one registry generation, mutate
+// exactly ONE fingerprint dependency (an experiment's identity, one
+// preset's parameters, the scale defs, the build identity) via the
+// core salt hooks, restart the stack over the same directory, and
+// assert the invalidation is exact — every affected key re-runs,
+// every other key replays from disk with its original ETag and
+// runs=0. A wrong fingerprint silently serves stale science, so the
+// harness is as load-bearing as the code it tests.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diskcache"
+	"repro/internal/report"
+)
+
+// The warm matrix: chosen so every mutation axis splits it
+// non-trivially. T1 and M3 can run on gige-8n; M5 needs NUMA and
+// cannot, so a gige-8n parameter change must leave M5 alone. M5 also
+// has no gige-8n key of its own — its default-set entry surviving is
+// what proves invalidation is per-experiment-dependency, not
+// per-requested-platform.
+var (
+	deployIDs       = []string{"T1", "M3", "M5"}
+	deployPlatforms = []string{"", "gige-8n"}
+)
+
+type deployKey struct{ id, platform string }
+
+func (k deployKey) String() string {
+	if k.platform == "" {
+		return k.id
+	}
+	return k.id + "@" + k.platform
+}
+
+// deployMatrix returns the compatible (id, platform) keys Warm will
+// actually fill.
+func deployMatrix(t *testing.T) []deployKey {
+	t.Helper()
+	var keys []deployKey
+	for _, id := range deployIDs {
+		e, ok := core.Get(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		for _, p := range deployPlatforms {
+			if e.CheckPlatform(p) == nil {
+				keys = append(keys, deployKey{id, p})
+			}
+		}
+	}
+	return keys
+}
+
+// recordingStub is stubRun plus a record of which (id, platform) keys
+// executed — the ground truth the harness asserts against.
+func recordingStub(ran *sync.Map, runs *atomic.Int32) func(core.Experiment, core.Request) core.Result {
+	return func(e core.Experiment, r core.Request) core.Result {
+		runs.Add(1)
+		ran.Store(deployKey{e.ID, r.Platform}, true)
+		rec := report.NewRecorder()
+		tbl := report.NewTable("stub", "k", "v")
+		tbl.AddRow("answer", 42)
+		tbl.Fprint(rec)
+		return core.Result{Experiment: e, Req: r, Rec: rec, Elapsed: time.Millisecond}
+	}
+}
+
+// openDeployStore opens the store the way the daemon does: real
+// per-experiment fingerprints from core, so the salt hooks flow
+// through the same code path a production deploy exercises.
+func openDeployStore(t *testing.T, dir string) *diskcache.Store {
+	t.Helper()
+	st, err := diskcache.Open(dir,
+		diskcache.Fingerprints{Global: core.Fingerprint(), PerID: core.Fingerprints()}, 0)
+	if err != nil {
+		t.Fatalf("diskcache.Open: %v", err)
+	}
+	return st
+}
+
+// captureETags reads every representation's ETag for the given keys
+// straight from the disk store.
+func captureETags(t *testing.T, st *diskcache.Store, keys []deployKey) map[deployKey]map[string]string {
+	t.Helper()
+	out := map[deployKey]map[string]string{}
+	for _, k := range keys {
+		req := core.Request{Scale: core.Quick, Platform: k.platform}
+		out[k] = map[string]string{}
+		for _, ct := range offered {
+			ent, ok := st.Get(storeKey(k.id, req, ct))
+			if !ok {
+				t.Fatalf("key %s (%s) missing from warmed store", k, ct)
+			}
+			out[k][ct] = ent.ETag
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[deployKey]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestSimulatedDeployMatrix is the headline deliverable: one
+// dependency mutated per case, exact invalidation asserted per key.
+func TestSimulatedDeployMatrix(t *testing.T) {
+	keys := deployMatrix(t)
+	if len(keys) < 4 {
+		t.Fatalf("deploy matrix too small (%d keys) to split meaningfully", len(keys))
+	}
+	canRunOn := func(id, preset string) bool {
+		e, _ := core.Get(id)
+		for _, p := range e.Platforms() {
+			if p == preset {
+				return true
+			}
+		}
+		return false
+	}
+
+	cases := []struct {
+		name     string
+		env      string // the salted dependency axis
+		affected func(deployKey) bool
+	}{
+		{
+			// Axis 1: one experiment's identity/Needs.
+			name:     "experiment needs",
+			env:      "CHARHPC_FP_SALT_EXP_T1",
+			affected: func(k deployKey) bool { return k.id == "T1" },
+		},
+		{
+			// Axis 2: one preset's link parameters. Affects every
+			// experiment that CAN run on the preset — including their
+			// default-set keys, whose result set includes that preset —
+			// and no experiment that can't.
+			name:     "preset link params",
+			env:      "CHARHPC_FP_SALT_PLATFORM_gige-8n",
+			affected: func(k deployKey) bool { return canRunOn(k.id, "gige-8n") },
+		},
+		{
+			// Axis 3: the scale definitions — a dependency of everyone.
+			name:     "scale defs",
+			env:      "CHARHPC_FP_SALT_SCALE",
+			affected: func(deployKey) bool { return true },
+		},
+		{
+			// Axis 4: the build identity — also global.
+			name:     "build identity",
+			env:      "CHARHPC_FP_SALT_BUILD",
+			affected: func(deployKey) bool { return true },
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			wantAffected := map[deployKey]bool{}
+			for _, k := range keys {
+				if tc.affected(k) {
+					wantAffected[k] = true
+				}
+			}
+			if len(wantAffected) == 0 {
+				t.Fatal("case affects nothing — the mutation axis is dead")
+			}
+
+			// Deploy A: warm the full matrix under the unsalted
+			// generation and record every entry's ETag.
+			var ranA sync.Map
+			var runsA atomic.Int32
+			srvA := New(Config{RunFunc: recordingStub(&ranA, &runsA), Store: openDeployStore(t, dir)})
+			srvA.Warm(context.Background(), deployIDs, deployPlatforms, 4)
+			if got := int(runsA.Load()); got != len(keys) {
+				t.Fatalf("baseline warm ran %d, want %d", got, len(keys))
+			}
+			etagsA := captureETags(t, srvA.cfg.Store, keys)
+
+			// Deploy B: same directory, one dependency mutated. The env
+			// salt flows through core.Fingerprints into Open exactly as
+			// a code change would on a real redeploy.
+			t.Setenv(tc.env, "deploy-b")
+			var ranB sync.Map
+			var runsB atomic.Int32
+			stB := openDeployStore(t, dir)
+			srvB := New(Config{RunFunc: recordingStub(&ranB, &runsB), Store: stB})
+			srvB.Warm(context.Background(), deployIDs, deployPlatforms, 4)
+
+			// Open purged exactly the affected keys' entries.
+			if got, want := stB.StalePurged(), int64(len(wantAffected)*len(offered)); got != want {
+				t.Errorf("StalePurged = %d, want %d (%d keys x %d representations)",
+					got, want, len(wantAffected), len(offered))
+			}
+
+			// Exactly the affected keys re-ran.
+			gotRan := map[deployKey]bool{}
+			ranB.Range(func(k, _ any) bool { gotRan[k.(deployKey)] = true; return true })
+			if got, want := sortedKeys(gotRan), sortedKeys(wantAffected); !equalStrings(got, want) {
+				t.Errorf("re-ran %v, want exactly %v", got, want)
+			}
+			st := srvB.Stats()
+			if got, want := st.Runs, int64(len(wantAffected)); got != want {
+				t.Errorf("runs = %d after simulated deploy, want %d", got, want)
+			}
+			if got, want := st.DiskLoads, int64(len(keys)-len(wantAffected)); got != want {
+				t.Errorf("disk_loads = %d, want %d (the surviving keys)", got, want)
+			}
+
+			// Every surviving key replays its original ETag — on disk
+			// and over HTTP from the warmed deploy-B server itself.
+			ts := httptest.NewServer(srvB)
+			t.Cleanup(ts.Close)
+			for _, k := range keys {
+				if wantAffected[k] {
+					continue
+				}
+				req := core.Request{Scale: core.Quick, Platform: k.platform}
+				for _, ct := range offered {
+					ent, ok := stB.Get(storeKey(k.id, req, ct))
+					if !ok {
+						t.Errorf("surviving key %s (%s) missing after deploy", k, ct)
+						continue
+					}
+					if ent.ETag != etagsA[k][ct] {
+						t.Errorf("surviving key %s (%s): ETag %s != original %s", k, ct, ent.ETag, etagsA[k][ct])
+					}
+				}
+				url := ts.URL + "/experiments/" + k.id
+				if k.platform != "" {
+					url += "?platform=" + k.platform
+				}
+				resp, body := doGet(t, url, "application/json", "")
+				if resp.StatusCode != 200 {
+					t.Errorf("GET %s after deploy: %d %s", k, resp.StatusCode, body)
+					continue
+				}
+				if got := resp.Header.Get("ETag"); got != etagsA[k][ctJSON] {
+					t.Errorf("GET %s: ETag %s != original %s", k, got, etagsA[k][ctJSON])
+				}
+			}
+
+			// /healthz reports the purge.
+			resp, body := doGet(t, ts.URL+"/healthz", "", "")
+			if resp.StatusCode != 200 {
+				t.Fatalf("healthz: %d", resp.StatusCode)
+			}
+			if want := fmt.Sprintf("stale_purged=%d", len(wantAffected)*len(offered)); !strings.Contains(body, want) {
+				t.Errorf("healthz %q does not report %q", strings.TrimSpace(body), want)
+			}
+
+			// And the affected keys were re-persisted under the new
+			// generation: a third open (same salt) purges nothing.
+			stC := openDeployStore(t, dir)
+			if got := stC.StalePurged(); got != 0 {
+				t.Errorf("third open purged %d entries; deploy B left the store dirty", got)
+			}
+		})
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNoOpRedeployLoadsEverything pins the fast path around the
+// matrix: an unchanged registry reopens with zero purges, zero runs,
+// all disk loads.
+func TestNoOpRedeployLoadsEverything(t *testing.T) {
+	dir := t.TempDir()
+	keys := deployMatrix(t)
+	var ran sync.Map
+	var runs atomic.Int32
+	srvA := New(Config{RunFunc: recordingStub(&ran, &runs), Store: openDeployStore(t, dir)})
+	srvA.Warm(context.Background(), deployIDs, deployPlatforms, 4)
+	etagsA := captureETags(t, srvA.cfg.Store, keys)
+
+	var runsB atomic.Int32
+	stB := openDeployStore(t, dir)
+	srvB := New(Config{RunFunc: recordingStub(&ran, &runsB), Store: stB})
+	srvB.Warm(context.Background(), deployIDs, deployPlatforms, 4)
+	if got := stB.StalePurged(); got != 0 {
+		t.Errorf("no-op redeploy purged %d entries", got)
+	}
+	if got := runsB.Load(); got != 0 {
+		t.Errorf("no-op redeploy ran %d experiments, want 0", got)
+	}
+	if got, want := srvB.Stats().DiskLoads, int64(len(keys)); got != want {
+		t.Errorf("disk_loads = %d, want %d", got, want)
+	}
+	for k, etags := range captureETags(t, stB, keys) {
+		for ct, etag := range etags {
+			if etag != etagsA[k][ct] {
+				t.Errorf("%s (%s): ETag changed across a no-op redeploy", k, ct)
+			}
+		}
+	}
+}
+
+// TestWarmDiskLoadsEmitNoTraces pins the /debug/traces interaction:
+// a delta warm-up's disk loads replay persisted bytes without
+// executing anything, so they must not append spans — empty or
+// otherwise — to the trace ring. Only real executions trace.
+func TestWarmDiskLoadsEmitNoTraces(t *testing.T) {
+	dir := t.TempDir()
+	// Deploy A: a REAL run (RunFunc nil -> core.Run), which traces.
+	srvA := New(Config{Store: openDeployStore(t, dir)})
+	if n := srvA.Warm(context.Background(), []string{"T1"}, nil, 2); n != 1 {
+		t.Fatalf("baseline warm executed %d, want 1", n)
+	}
+	if got := len(srvA.Traces(0)); got != 1 {
+		t.Fatalf("executed warm-up produced %d traces, want 1", got)
+	}
+
+	// Deploy B, nothing changed: the whole warm-up is disk loads.
+	srvB := New(Config{Store: openDeployStore(t, dir)})
+	if n := srvB.Warm(context.Background(), []string{"T1"}, nil, 2); n != 0 {
+		t.Fatalf("delta warm executed %d, want 0 (all from disk)", n)
+	}
+	if got := srvB.Stats().DiskLoads; got != 1 {
+		t.Fatalf("delta warm disk_loads = %d, want 1", got)
+	}
+	if got := srvB.Traces(0); len(got) != 0 {
+		t.Errorf("disk-load warm-up emitted %d span trees into the trace ring, want 0", len(got))
+	}
+	// Serving the loaded entry over HTTP stays trace-free too: replays
+	// execute nothing.
+	ts := httptest.NewServer(srvB)
+	t.Cleanup(ts.Close)
+	doGet(t, ts.URL+"/experiments/T1", "application/json", "")
+	if got := srvB.Traces(0); len(got) != 0 {
+		t.Errorf("replay added %d traces, want 0", len(got))
+	}
+}

@@ -104,6 +104,11 @@ func newTelemetry(reg *obs.Registry, store *diskcache.Store) *telemetry {
 			return reg.Counter("charhpc_diskcache_bytes_total",
 				"result body bytes moved through the disk store", obs.L("op", o))
 		}
+		inval := func(reason string) *obs.Counter {
+			return reg.Counter("charhpc_cache_invalidated_total",
+				"disk entries invalidated, by reason (experiment = fingerprint delta, format = entry version, checksum = corruption)",
+				obs.L("reason", reason))
+		}
 		store.SetMetrics(diskcache.Metrics{
 			GetSeconds: op("get"),
 			PutSeconds: op("put"),
@@ -111,6 +116,9 @@ func newTelemetry(reg *obs.Registry, store *diskcache.Store) *telemetry {
 			PutBytes:   by("put"),
 			Evictions: reg.Counter("charhpc_diskcache_evictions_total",
 				"disk store entry files evicted by the LRU byte budget"),
+			InvalidatedExperiment: inval(diskcache.ReasonExperiment),
+			InvalidatedFormat:     inval(diskcache.ReasonFormat),
+			InvalidatedChecksum:   inval(diskcache.ReasonChecksum),
 		})
 	}
 	return m

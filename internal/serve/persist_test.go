@@ -16,7 +16,7 @@ import (
 
 func openStore(t *testing.T, dir, fp string) *diskcache.Store {
 	t.Helper()
-	st, err := diskcache.Open(dir, fp, 0)
+	st, err := diskcache.Open(dir, diskcache.Fingerprints{Global: fp}, 0)
 	if err != nil {
 		t.Fatalf("diskcache.Open: %v", err)
 	}

@@ -256,16 +256,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", ctText)
 	st := s.Stats()
 	diskEntries := 0
+	var stalePurged int64
 	if s.cfg.Store != nil {
 		diskEntries = s.cfg.Store.Len()
+		stalePurged = s.cfg.Store.StalePurged()
 	}
 	jc := s.jobs.Counts()
-	fmt.Fprintf(w, "ok runs=%d mem_hits=%d disk_loads=%d disk_errs=%d fingerprint=%s uptime_seconds=%d mem_entries=%d disk_entries=%d jobs_active=%d jobs_queued=%d jobs_done=%d custom_platforms=%d\n",
+	fmt.Fprintf(w, "ok runs=%d mem_hits=%d disk_loads=%d disk_errs=%d fingerprint=%s uptime_seconds=%d mem_entries=%d disk_entries=%d jobs_active=%d jobs_queued=%d jobs_done=%d custom_platforms=%d stale_purged=%d\n",
 		st.Runs, st.MemHits, st.DiskLoads, st.DiskErrs,
 		core.Fingerprint(), int(time.Since(s.start).Seconds()),
 		s.cache.len(), diskEntries,
 		jc[jobs.Running], jc[jobs.Pending], jc[jobs.Done],
-		cluster.CustomCount())
+		cluster.CustomCount(), stalePurged)
 }
 
 // listEntry is one row of the JSON registry listing. Platforms names
