@@ -85,6 +85,18 @@ type Experiment struct {
 	// (host-only measurements such as T2): only the default request
 	// is valid for them.
 	NoPlatform bool
+	// Rev is the experiment's behavior revision. Bump it in the same
+	// change whenever the Run implementation's OUTPUT can differ for
+	// some request — a fixed formula, a re-tuned model constant, a
+	// changed column — so cached results from the previous revision
+	// are invalidated. It is the only fingerprint input that captures
+	// implementation changes: the build identity deliberately excludes
+	// VCS stamps (see fingerprint.go), so without a Rev bump a
+	// code-only deploy reuses every cached result. The fingerprint
+	// golden test pins each experiment's Rev, which makes a behavior
+	// change that forgot the bump at least visible in review whenever
+	// the dependency material moves.
+	Rev int
 }
 
 // Platforms returns the preset names this experiment accepts for an

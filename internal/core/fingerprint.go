@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strings"
 
 	"repro/internal/cluster"
 )
@@ -41,6 +42,14 @@ const (
 	saltPlatformEnv = "CHARHPC_FP_SALT_PLATFORM_"
 )
 
+// pinVCSEnv, when set non-empty, folds the VCS stamps (vcs.revision,
+// vcs.time, vcs.modified) back into the build identity: every deploy
+// from a new commit then invalidates the whole store, trading the
+// cross-deploy reuse this package exists for against zero reliance on
+// Experiment.Rev discipline. For operators who prefer conservative
+// per-commit invalidation over restart availability.
+const pinVCSEnv = "CHARHPC_FP_PIN_VCS"
+
 // Test seams: core's white-box fingerprint tests swap these to prove
 // that exactly the dependent experiments react to a preset-shape or
 // scale-definition change. Production never touches them.
@@ -55,23 +64,31 @@ var (
 // with — the inputs that can change what ANY experiment computes.
 //
 // The VCS stamps (vcs.revision, vcs.time, vcs.modified) are
-// deliberately EXCLUDED — that exclusion is what per-experiment
-// invalidation exists for: redeploying the same registry from a new
-// commit must not cold-start the whole store. The compensating control
-// is the fingerprint-material golden test in this package: what each
-// experiment's result is allowed to depend on is pinned in review, so
-// a behavior change that matters is expected to surface in the
-// registry shape (an experiment's identity, a preset's parameters, a
-// scale definition), not hide behind a commit hash.
+// deliberately EXCLUDED by default — that exclusion is what
+// per-experiment invalidation exists for: redeploying the same
+// registry from a new commit must not cold-start the whole store. A
+// commit that changes what an experiment computes must therefore
+// announce itself in the registry material instead: bump that
+// experiment's Rev (the behavior revision carried in
+// FingerprintMaterial) in the same change, or alter its identity, a
+// preset's parameters, or a scale definition. The fingerprint-material
+// golden test in this package pins that material per experiment so
+// dependency changes are visible in review. Operators who would
+// rather pay a full cold start per deploy than rely on Rev discipline
+// set CHARHPC_FP_PIN_VCS, which folds the VCS stamps back in.
 func buildIdentity() []string {
 	lines := []string{
 		fmt.Sprintln("build", runtime.Version(), runtime.GOOS, runtime.GOARCH),
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		lines = append(lines, fmt.Sprintln("build mod", bi.Main.Path, bi.Main.Version, bi.Main.Sum))
+		pinVCS := os.Getenv(pinVCSEnv) != ""
 		for _, s := range bi.Settings {
-			if s.Key == "-tags" {
+			switch {
+			case s.Key == "-tags":
 				lines = append(lines, fmt.Sprintln("build tags", s.Value))
+			case pinVCS && strings.HasPrefix(s.Key, "vcs."):
+				lines = append(lines, fmt.Sprintln("build", s.Key, s.Value))
 			}
 		}
 	}
@@ -99,6 +116,11 @@ func FingerprintMaterial(id string) ([]string, bool) {
 	}
 	lines := []string{
 		fmt.Sprintln("experiment", e.ID, e.Kind, e.Title, uint32(e.Needs), e.NoPlatform),
+		// The behavior revision: authors bump e.Rev when the Run
+		// implementation's output changes, which is the only way an
+		// implementation-only deploy reaches the fingerprint (VCS
+		// stamps are excluded from the build identity by default).
+		fmt.Sprintln("experiment rev", e.Rev),
 	}
 	if salt := os.Getenv(saltExpEnv + e.ID); salt != "" {
 		lines = append(lines, fmt.Sprintln("experiment salt", salt))

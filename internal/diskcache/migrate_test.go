@@ -53,6 +53,13 @@ func perIDFingerprints(global string, ids map[string]string) Fingerprints {
 	return Fingerprints{Global: global, PerID: ids}
 }
 
+// migratingFPS is perIDFingerprints with the operator's registry-
+// neutral-upgrade assertion set, which the legacy-migration tests
+// need: without it legacy entries are purged, never rewritten.
+func migratingFPS(global string, ids map[string]string) Fingerprints {
+	return Fingerprints{Global: global, PerID: ids, MigrateLegacy: true}
+}
+
 // TestSelectiveInvalidationOnOpen is the tentpole behavior at the
 // store level: a generation change purges exactly the experiments
 // whose fingerprint moved, and the survivors still hit.
@@ -106,16 +113,17 @@ func TestSameGenerationOpenPurgesNothing(t *testing.T) {
 	}
 }
 
-// TestLegacyEntryMigratedOnOpen: a pre-versioning entry matching the
-// store's recorded old generation is rewritten in the current format
-// under its experiment's fingerprint — and then HITS, where the old
-// code would have purged the store.
+// TestLegacyEntryMigratedOnOpen: with the operator's MigrateLegacy
+// assertion, a pre-versioning entry matching the store's recorded old
+// generation is rewritten in the current format under its
+// experiment's fingerprint — and then HITS, where the old code would
+// have purged the store.
 func TestLegacyEntryMigratedOnOpen(t *testing.T) {
 	dir := t.TempDir()
 	writeLegacyEntry(t, dir, "legacy-gen", testKey, "v1 era result")
 	writeMarker(t, dir, "legacy-gen")
 
-	st := mustOpenFPS(t, dir, perIDFingerprints("gen2", map[string]string{"T1": "fpT1"}), 0)
+	st := mustOpenFPS(t, dir, migratingFPS("gen2", map[string]string{"T1": "fpT1"}), 0)
 	if n := st.Migrated(); n != 1 {
 		t.Errorf("Migrated = %d, want 1", n)
 	}
@@ -141,6 +149,64 @@ func TestLegacyEntryMigratedOnOpen(t *testing.T) {
 	}
 }
 
+// TestLegacyEntryPurgedWithoutOptIn pins the default migration
+// policy: a legacy entry carries only the whole-store fingerprint,
+// which cannot show whether THIS upgrade deploy changed its
+// experiment, so without the operator's MigrateLegacy assertion it is
+// purged as a format invalidation even when it matches the recorded
+// old generation — a cold start, never a potentially stale result.
+func TestLegacyEntryPurgedWithoutOptIn(t *testing.T) {
+	dir := t.TempDir()
+	writeLegacyEntry(t, dir, "legacy-gen", testKey, "cannot prove freshness")
+	writeMarker(t, dir, "legacy-gen")
+
+	st := mustOpenFPS(t, dir, perIDFingerprints("gen2", map[string]string{"T1": "fpT1"}), 0)
+	if n := st.Migrated(); n != 0 {
+		t.Errorf("Migrated = %d without opt-in, want 0", n)
+	}
+	if n := st.StalePurged(); n != 1 {
+		t.Errorf("StalePurged = %d, want 1", n)
+	}
+	if _, ok := st.Get(testKey); ok {
+		t.Error("un-migratable legacy entry served")
+	}
+}
+
+// TestRemovedExperimentEntriesPurged: with a per-experiment map, an
+// entry whose experiment is no longer registered must not survive the
+// reconcile by falling back to the global fingerprint — it is purged
+// as an experiment invalidation, whether current-format or legacy
+// (even under MigrateLegacy, which has no fingerprint to stamp it
+// with).
+func TestRemovedExperimentEntriesPurged(t *testing.T) {
+	dir := t.TempDir()
+	keyDead := Key{ID: "GONE", Scale: "quick", ContentType: "text/plain"}
+	keyDeadLegacy := Key{ID: "ALSOGONE", Scale: "quick", ContentType: "text/plain"}
+	keyLive := Key{ID: "T1", Scale: "quick", ContentType: "text/plain"}
+	writeCurrentEntry(t, dir, "fpGONE", keyDead, "experiment was removed")
+	writeLegacyEntry(t, dir, "legacy-gen", keyDeadLegacy, "removed before versioning")
+	writeCurrentEntry(t, dir, "fpT1", keyLive, "still registered")
+	writeMarker(t, dir, "legacy-gen")
+
+	st := mustOpenFPS(t, dir, migratingFPS("gen2", map[string]string{"T1": "fpT1"}), 0)
+	if n := st.StalePurged(); n != 2 {
+		t.Errorf("StalePurged = %d, want 2 (both dead-experiment entries)", n)
+	}
+	if _, ok := st.Get(keyDead); ok {
+		t.Error("current-format entry for a removed experiment served")
+	}
+	if _, ok := st.Get(keyDeadLegacy); ok {
+		t.Error("legacy entry for a removed experiment served")
+	}
+	if got, ok := st.Get(keyLive); !ok || string(got.Body) != "still registered" {
+		t.Errorf("live experiment's entry: ok=%v body=%q", ok, got.Body)
+	}
+	// And Put refuses to write an entry it could never validate.
+	if err := st.Put(keyDead, testEntry("no fingerprint")); err == nil {
+		t.Error("Put for an unregistered experiment succeeded, want error")
+	}
+}
+
 // TestLegacyEntryFromForeignGenerationPurged: a legacy entry whose
 // embedded fingerprint does NOT match the recorded old generation
 // cannot be trusted (legacy stores guaranteed entries matched their
@@ -151,7 +217,7 @@ func TestLegacyEntryFromForeignGenerationPurged(t *testing.T) {
 	writeLegacyEntry(t, dir, "some-other-gen", testKey, "untrusted")
 	writeMarker(t, dir, "legacy-gen")
 
-	st := mustOpenFPS(t, dir, perIDFingerprints("gen2", nil), 0)
+	st := mustOpenFPS(t, dir, migratingFPS("gen2", nil), 0)
 	if n := st.StalePurged(); n != 1 {
 		t.Errorf("StalePurged = %d, want 1", n)
 	}
@@ -167,7 +233,7 @@ func TestLegacyEntryWithoutMarkerPurged(t *testing.T) {
 	dir := t.TempDir()
 	writeLegacyEntry(t, dir, "legacy-gen", testKey, "unverifiable")
 
-	st := mustOpenFPS(t, dir, perIDFingerprints("gen2", nil), 0)
+	st := mustOpenFPS(t, dir, migratingFPS("gen2", nil), 0)
 	if n := st.StalePurged(); n != 1 {
 		t.Errorf("StalePurged = %d, want 1", n)
 	}
@@ -194,7 +260,7 @@ func TestCrashBeforeMigrationRenameSelfHeals(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	st := mustOpenFPS(t, dir, perIDFingerprints("gen2", map[string]string{"T1": "fpT1"}), 0)
+	st := mustOpenFPS(t, dir, migratingFPS("gen2", map[string]string{"T1": "fpT1"}), 0)
 	if got, ok := st.Get(testKey); !ok || string(got.Body) != "survives the crash" {
 		t.Errorf("re-migrated entry: ok=%v body=%q", ok, got.Body)
 	}
@@ -209,7 +275,7 @@ func TestCrashBeforeMigrationRenameSelfHeals(t *testing.T) {
 // validates), migrates the rest, and ends fully consistent.
 func TestCrashMidReconcileResumesIdempotently(t *testing.T) {
 	dir := t.TempDir()
-	fps := perIDFingerprints("gen2", map[string]string{"A": "fpA", "B": "fpB"})
+	fps := migratingFPS("gen2", map[string]string{"A": "fpA", "B": "fpB"})
 	keyA := Key{ID: "A", Scale: "quick", ContentType: "text/plain"}
 	keyB := Key{ID: "B", Scale: "quick", ContentType: "text/plain"}
 	writeLegacyEntry(t, dir, "legacy-gen", keyB, "still legacy")
@@ -258,7 +324,7 @@ func TestCrashLeavesTruncatedLegacyEntryReadsAsMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	st := mustOpenFPS(t, dir, perIDFingerprints("gen2", nil), 0)
+	st := mustOpenFPS(t, dir, migratingFPS("gen2", nil), 0)
 	if _, ok := st.Get(testKey); ok {
 		t.Error("truncated legacy entry served")
 	}

@@ -152,6 +152,12 @@ type Server struct {
 	traceCap  int
 	accessLog *obs.Logger
 	start     time.Time
+
+	// fp is core.Fingerprint() captured at construction. The registry
+	// and fingerprint salts are fixed for the life of a process, and
+	// recomputing means re-hashing every experiment's material — too
+	// much work to redo on every /healthz scrape.
+	fp string
 }
 
 // Stats is a snapshot of the server's cache counters, also rendered
@@ -203,6 +209,7 @@ func New(cfg Config) *Server {
 		traceCap:  traceCap,
 		accessLog: cfg.AccessLog,
 		start:     time.Now(),
+		fp:        core.Fingerprint(),
 	}
 	s.cache.waits = s.m.sfWait
 	s.jobs.SetMetrics(jobs.Metrics{
@@ -264,7 +271,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	jc := s.jobs.Counts()
 	fmt.Fprintf(w, "ok runs=%d mem_hits=%d disk_loads=%d disk_errs=%d fingerprint=%s uptime_seconds=%d mem_entries=%d disk_entries=%d jobs_active=%d jobs_queued=%d jobs_done=%d custom_platforms=%d stale_purged=%d\n",
 		st.Runs, st.MemHits, st.DiskLoads, st.DiskErrs,
-		core.Fingerprint(), int(time.Since(s.start).Seconds()),
+		s.fp, int(time.Since(s.start).Seconds()),
 		s.cache.len(), diskEntries,
 		jc[jobs.Running], jc[jobs.Pending], jc[jobs.Done],
 		cluster.CustomCount(), stalePurged)
