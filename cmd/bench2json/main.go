@@ -22,14 +22,19 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed benchmark result line.
+// Benchmark is one parsed benchmark result line. Custom metrics a
+// benchmark reports via b.ReportMetric (req/s from the router load
+// harness, ns/access from the pointer chase) land in Extra keyed by
+// their unit, so throughput numbers reach the artifact alongside the
+// standard columns.
 type Benchmark struct {
-	Name        string  `json:"name"`
-	Procs       int     `json:"procs"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Record is the whole JSON document: the platform header go test
@@ -119,6 +124,11 @@ func parseBenchLine(line string) (Benchmark, bool) {
 			b.BytesPerOp = int64(v)
 		case "allocs/op":
 			b.AllocsPerOp = int64(v)
+		default:
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[f[i+1]] = v
 		}
 	}
 	return b, ok

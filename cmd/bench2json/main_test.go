@@ -12,6 +12,7 @@ cpu: Intel(R) Xeon(R) CPU @ 2.20GHz
 BenchmarkT1PlatformTable-8   	       1	  12345678 ns/op	  409600 B/op	    1234 allocs/op
 BenchmarkM3PageSizeTable-8   	       1	   2345678 ns/op	   81920 B/op	     456 allocs/op
 BenchmarkM4HierarchyFit      	       2	   1000000 ns/op
+BenchmarkRouterScaling/shards=8-8	     500	    140000 ns/op	    7142 req/s
 some benchmark log line that is not a result
 BenchmarkBroken-8 this line does not parse
 PASS
@@ -29,8 +30,8 @@ func TestParse(t *testing.T) {
 	if !strings.Contains(rec.CPU, "Xeon") {
 		t.Errorf("cpu = %q", rec.CPU)
 	}
-	if len(rec.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rec.Benchmarks), rec.Benchmarks)
+	if len(rec.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(rec.Benchmarks), rec.Benchmarks)
 	}
 
 	b := rec.Benchmarks[0]
@@ -48,6 +49,18 @@ func TestParse(t *testing.T) {
 	}
 	if b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
 		t.Errorf("bare bench has phantom memstats: %+v", b)
+	}
+	if b.Extra != nil {
+		t.Errorf("bare bench has phantom extra metrics: %+v", b)
+	}
+
+	// Custom ReportMetric units land in Extra keyed by unit.
+	b = rec.Benchmarks[3]
+	if b.Name != "BenchmarkRouterScaling/shards=8" || b.NsPerOp != 140000 {
+		t.Errorf("custom-metric bench identity: %+v", b)
+	}
+	if got := b.Extra["req/s"]; got != 7142 {
+		t.Errorf("req/s = %v, want 7142 (extra: %v)", got, b.Extra)
 	}
 }
 

@@ -1,0 +1,189 @@
+// Command charhpc-router scales the results service horizontally: it
+// fronts a pool of charhpcd workers behind the single-daemon API,
+// consistent-hashing the platform-qualified cache key (id, scale,
+// platform) so each shard's memory and disk cache stays hot for its
+// own slice of the key space. Clients — charhpc included — point
+// -addr at the router and cannot tell it from one daemon: blocking
+// GETs, async jobs with their SSE event streams, and the /platforms
+// resource all proxy through byte-for-byte (custom-platform
+// registrations fan out to every shard).
+//
+// Shards are health-checked (periodic /healthz probes; a failed proxy
+// hop marks a shard down immediately), and a request whose shard is
+// unreachable re-routes to the next live ring successor — the same
+// shard its keys would remap to if the owner left the pool, so
+// failover traffic lands where the cache will be rebuilt anyway.
+//
+// Usage:
+//
+//	charhpc-router -shards http://10.0.0.1:8080,http://10.0.0.2:8080
+//	charhpc-router -shards host1:8080,host2:8080 -addr :8079
+//	charhpc-router -warm -j 8                # fan-out warm-up, partitioned by ring ownership
+//	charhpc-router -warm-platforms default,gige-8n
+//	charhpc-router -health-interval 1s -health-timeout 500ms
+//	charhpc-router -scale-limit full         # match the shards' -scale-limit
+//
+// Run the shards with -warm=false when the router drives -warm: the
+// router partitions the registry × platform plan by ring ownership so
+// each shard fills exactly the keys it will serve.
+//
+// Observability: GET /healthz aggregates per-shard liveness on one
+// line; GET /metrics exposes the router's own instruments
+// (charhpc_router_shard_up, charhpc_router_routed_total,
+// charhpc_router_failovers_total, charhpc_router_proxy_seconds) —
+// scrape the shards' /metrics alongside for the cache tiers.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", ":8079", "listen address")
+	shardsFlag := flag.String("shards", "", "comma-separated charhpcd base URLs (required), e.g. http://10.0.0.1:8080,http://10.0.0.2:8080")
+	vnodes := flag.Int("vnodes", shard.DefaultVNodes, "virtual nodes per shard on the hash ring")
+	scaleLimit := flag.String("scale-limit", "quick", "largest scale routed: quick or full (match the shards' -scale-limit)")
+	healthInterval := flag.Duration("health-interval", shard.DefaultHealthInterval, "time between shard /healthz probes")
+	healthTimeout := flag.Duration("health-timeout", shard.DefaultHealthTimeout, "per-probe timeout")
+	warm := flag.Bool("warm", false, "drive the fan-out warm-up at startup, partitioned by ring ownership (run the shards with -warm=false)")
+	warmPlatforms := flag.String("warm-platforms", "default",
+		"comma-separated platform axis for the warm-up: 'default' is each experiment's canonical set, any other name is a preset")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "warm-up worker pool size")
+	logFormat := flag.String("log-format", "text", "log line format: text or json")
+	flag.Parse()
+
+	if *logFormat != obs.FormatText && *logFormat != obs.FormatJSON {
+		fmt.Fprintf(os.Stderr, "charhpc-router: unknown log format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, *logFormat)
+
+	var limit core.Scale
+	switch *scaleLimit {
+	case "quick":
+		limit = core.Quick
+	case "full":
+		limit = core.Full
+	default:
+		fmt.Fprintf(os.Stderr, "charhpc-router: unknown scale limit %q (want quick or full)\n", *scaleLimit)
+		os.Exit(2)
+	}
+
+	var shards []string
+	for _, s := range strings.Split(*shardsFlag, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			shards = append(shards, s)
+		}
+	}
+	if len(shards) == 0 {
+		fmt.Fprintln(os.Stderr, "charhpc-router: -shards is required (comma-separated charhpcd base URLs)")
+		os.Exit(2)
+	}
+
+	rt, err := shard.New(shard.Config{
+		Shards:         shards,
+		VNodes:         *vnodes,
+		ScaleLimit:     limit,
+		HealthInterval: *healthInterval,
+		HealthTimeout:  *healthTimeout,
+		AccessLog:      logger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "charhpc-router: %v\n", err)
+		os.Exit(2)
+	}
+	defer rt.Close()
+
+	var platforms []string
+	for _, p := range strings.Split(*warmPlatforms, ",") {
+		p = strings.TrimSpace(p)
+		switch p {
+		case "":
+			continue
+		case "default":
+			platforms = append(platforms, "")
+		default:
+			if _, ok := cluster.Lookup(p); !ok {
+				fmt.Fprintf(os.Stderr, "charhpc-router: unknown warm-up platform %q (platforms: %v)\n", p,
+					append(cluster.Names(), cluster.CustomNames()...))
+				os.Exit(2)
+			}
+			platforms = append(platforms, p)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	warmDone := make(chan struct{})
+	if *warm {
+		go func() {
+			defer close(warmDone)
+			t0 := time.Now()
+			n := rt.Warm(ctx, nil, platforms, *workers)
+			if ctx.Err() != nil {
+				logger.Info("fan-out warm-up canceled", "warmed", n)
+				return
+			}
+			logger.Info("fan-out warm-up complete",
+				"elapsed", time.Since(t0).Round(time.Millisecond).String(),
+				"warmed", n, "workers", *workers)
+		}()
+	} else {
+		close(warmDone)
+	}
+
+	// Same timeout posture as charhpcd: no WriteTimeout (a routed
+	// full-scale run or SSE stream legitimately holds a response open
+	// for minutes); header and idle timeouts fence slow clients.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	start := time.Now()
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("routing", "addr", *addr, "shards", strings.Join(shards, ","), "scale_limit", limit.String())
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("serve failed", "error", err.Error())
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Info("shutting down")
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shctx); err != nil {
+			logger.Error("shutdown", "error", err.Error())
+		}
+		<-warmDone
+		st := rt.Stats()
+		logger.JSONLine("info", "exit summary",
+			"shards_up", st.ShardsUp, "shards_total", st.ShardsTotal,
+			"failovers", st.Failovers,
+			"uptime_seconds", int(time.Since(start).Seconds()))
+	}
+}

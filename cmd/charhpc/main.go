@@ -15,6 +15,7 @@
 //	charhpc -trace T4                   # print the run's timing tree
 //	charhpc -trace-json traces.jsonl T4 # span trees as JSON lines ('-' = stdout)
 //	charhpc -submit :8080 T1            # run on a charhpcd daemon, follow live
+//	charhpc -submit :8079 -retries 3 T1 # via charhpc-router; ride out a failover
 //
 // With -submit the selection is not executed locally: each experiment
 // is submitted to the daemon's async run API (POST /runs), its
@@ -78,6 +79,8 @@ func main() {
 	traceJSON := flag.String("trace-json", "", "append each run's span tree as one JSON line to this file ('-' = stdout)")
 	submitFlag := flag.String("submit", "", "submit to a charhpcd daemon at this address (POST /runs) instead of running locally")
 	followFlag := flag.Bool("follow", true, "with -submit: stream each job's events as live progress, then print its result")
+	retriesFlag := flag.Int("retries", 0,
+		"with -submit: retry each daemon call up to this many extra times, with exponential backoff and jitter, on dial errors and 502/503 (a shard router failing over)")
 	flag.Parse()
 
 	if *listFlag {
@@ -187,7 +190,7 @@ func main() {
 	// platform is registered on the daemon first, so the submitted
 	// custom-<hash> name resolves there too.
 	if *submitFlag != "" {
-		os.Exit(runSubmit(*submitFlag, ids, req, *followFlag, customSpec))
+		os.Exit(runSubmit(*submitFlag, ids, req, *followFlag, customSpec, *retriesFlag))
 	}
 
 	var store *diskcache.Store

@@ -1,0 +1,84 @@
+// Bounded retry for -submit's daemon calls: exponential backoff with
+// full jitter on outcomes that are safe and useful to retry — dial
+// errors (the request never left this process, so even POST /runs
+// cannot double-submit) and 502/503 from a shard router (failover in
+// progress or no live shard yet; see internal/shard). Off by default:
+// -retries 0 preserves fail-fast, and any other transport error or
+// HTTP status is final on the first attempt either way.
+package main
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Backoff shape: 100ms doubling per attempt, capped at 2s, with full
+// jitter (a uniform draw from (0, delay]) so a burst of retrying
+// clients spreads out instead of re-converging on the router.
+const (
+	retryBase = 100 * time.Millisecond
+	retryCap  = 2 * time.Second
+)
+
+// retrier re-runs an HTTP call up to max extra times. sleep and
+// jitter are injectable for tests.
+type retrier struct {
+	max    int
+	sleep  func(time.Duration)
+	jitter func() float64
+}
+
+func newRetrier(max int) *retrier {
+	return &retrier{max: max, sleep: time.Sleep, jitter: rand.Float64}
+}
+
+// transientStatus reports whether a status code is worth retrying:
+// 502 is the router's every-candidate-shard-failed answer and 503 its
+// no-live-shard answer — both are pool states that a backoff can
+// outwait, unlike any 4xx (the request itself is wrong) or 500 (the
+// run failed and will fail again).
+func transientStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable
+}
+
+// transientErr reports whether a transport error happened at dial
+// time. Only dial failures are retried: the connection never opened,
+// so the server cannot have seen the request — retrying cannot
+// duplicate work, even on POST. An error after the dial (reset
+// mid-response, say) may mean the server acted, so it is final.
+func transientErr(err error) bool {
+	var oe *net.OpError
+	return errors.As(err, &oe) && oe.Op == "dial"
+}
+
+// do runs op until it yields a non-transient outcome or attempts run
+// out, returning the last outcome either way. A transient response's
+// body is drained and closed before the retry; the returned
+// response's body is the caller's to close.
+func (rt *retrier) do(op func() (*http.Response, error)) (*http.Response, error) {
+	delay := retryBase
+	for attempt := 0; ; attempt++ {
+		resp, err := op()
+		transient := false
+		if err != nil {
+			transient = transientErr(err)
+		} else {
+			transient = transientStatus(resp.StatusCode)
+		}
+		if !transient || attempt >= rt.max {
+			return resp, err
+		}
+		if err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+		}
+		rt.sleep(time.Duration(rt.jitter() * float64(delay)))
+		if delay *= 2; delay > retryCap {
+			delay = retryCap
+		}
+	}
+}

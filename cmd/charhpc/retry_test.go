@@ -1,0 +1,183 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTransientStatus(t *testing.T) {
+	for code, want := range map[int]bool{
+		http.StatusBadGateway:          true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusOK:                  false,
+		http.StatusNotFound:            false,
+		http.StatusInternalServerError: false, // run_failed will fail again
+		http.StatusForbidden:           false,
+	} {
+		if got := transientStatus(code); got != want {
+			t.Errorf("transientStatus(%d) = %v, want %v", code, got, want)
+		}
+	}
+}
+
+func TestTransientErr(t *testing.T) {
+	dial := &url.Error{Op: "Post", Err: &net.OpError{Op: "dial", Err: fmt.Errorf("connection refused")}}
+	if !transientErr(dial) {
+		t.Error("dial error not classified transient")
+	}
+	read := &url.Error{Op: "Get", Err: &net.OpError{Op: "read", Err: fmt.Errorf("connection reset")}}
+	if transientErr(read) {
+		t.Error("post-dial transport error classified transient — retrying it can duplicate a submit")
+	}
+	if transientErr(fmt.Errorf("plain")) {
+		t.Error("plain error classified transient")
+	}
+}
+
+// fakeClock records sleeps without sleeping; jitter pinned to 1.0
+// makes the backoff sequence deterministic.
+type fakeClock struct{ slept []time.Duration }
+
+func (c *fakeClock) retrier(max int) *retrier {
+	return &retrier{
+		max:    max,
+		sleep:  func(d time.Duration) { c.slept = append(c.slept, d) },
+		jitter: func() float64 { return 1.0 },
+	}
+}
+
+// TestRetryOutwaitsTransientStatuses pins the happy retry path: 503s
+// are drained and retried with exponentially growing backoff until a
+// real answer arrives, which is returned with its body readable.
+func TestRetryOutwaitsTransientStatuses(t *testing.T) {
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts <= 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "no live shard yet")
+			return
+		}
+		io.WriteString(w, "payload")
+	}))
+	defer ts.Close()
+
+	clock := &fakeClock{}
+	resp, err := clock.retrier(5).do(func() (*http.Response, error) { return http.Get(ts.URL) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "payload" {
+		t.Fatalf("final outcome %d %q, want 200 payload", resp.StatusCode, body)
+	}
+	if attempts != 4 {
+		t.Errorf("server saw %d attempts, want 4", attempts)
+	}
+	want := []time.Duration{retryBase, 2 * retryBase, 4 * retryBase}
+	if len(clock.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", clock.slept, want)
+	}
+	for i, d := range want {
+		if clock.slept[i] != d {
+			t.Errorf("sleep %d = %v, want %v (exponential backoff)", i, clock.slept[i], d)
+		}
+	}
+}
+
+// TestRetryBackoffCap pins the cap: the delay doubles only up to
+// retryCap.
+func TestRetryBackoffCap(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	defer ts.Close()
+	clock := &fakeClock{}
+	resp, err := clock.retrier(8).do(func() (*http.Response, error) { return http.Get(ts.URL) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("exhausted retries must return the last outcome, got %d", resp.StatusCode)
+	}
+	if len(clock.slept) != 8 {
+		t.Fatalf("slept %d times, want 8", len(clock.slept))
+	}
+	for _, d := range clock.slept {
+		if d > retryCap {
+			t.Errorf("backoff %v exceeds cap %v", d, retryCap)
+		}
+	}
+	if clock.slept[7] != retryCap {
+		t.Errorf("late backoff = %v, want the cap %v", clock.slept[7], retryCap)
+	}
+}
+
+// TestRetryDialError pins that a refused connection is retried — and
+// that the default -retries 0 keeps fail-fast semantics.
+func TestRetryDialError(t *testing.T) {
+	// A listener that is closed immediately: dialing its port refuses.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	clock := &fakeClock{}
+	calls := 0
+	_, err = clock.retrier(2).do(func() (*http.Response, error) {
+		calls++
+		return http.Get("http://" + addr)
+	})
+	if err == nil {
+		t.Fatal("dial to a closed port succeeded")
+	}
+	if calls != 3 {
+		t.Errorf("op ran %d times, want 3 (1 + 2 retries)", calls)
+	}
+
+	calls = 0
+	_, err = clock.retrier(0).do(func() (*http.Response, error) {
+		calls++
+		return http.Get("http://" + addr)
+	})
+	if err == nil || calls != 1 {
+		t.Errorf("-retries 0: op ran %d times (err %v), want exactly 1 fail-fast attempt", calls, err)
+	}
+}
+
+// TestRetryNonTransientIsFinal pins that a 4xx never retries: the
+// request itself is wrong, and backoff would just delay the error.
+func TestRetryNonTransientIsFinal(t *testing.T) {
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		w.WriteHeader(http.StatusNotFound)
+		io.WriteString(w, "unknown experiment")
+	}))
+	defer ts.Close()
+	clock := &fakeClock{}
+	resp, err := clock.retrier(5).do(func() (*http.Response, error) { return http.Get(ts.URL) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if attempts != 1 || len(clock.slept) != 0 {
+		t.Errorf("404 retried: %d attempts, %d sleeps", attempts, len(clock.slept))
+	}
+	if !strings.Contains(string(body), "unknown experiment") {
+		t.Errorf("final body %q lost the error detail", body)
+	}
+}

@@ -51,20 +51,21 @@ func (e jobEvent) terminal() bool {
 // first — content-hash naming guarantees the daemon resolves the
 // request's custom-<hash> name to the identical machine. Returns the
 // process exit code.
-func runSubmit(addr string, ids []string, req core.Request, follow bool, platformSpec []byte) int {
+func runSubmit(addr string, ids []string, req core.Request, follow bool, platformSpec []byte, retries int) int {
 	addr = strings.TrimRight(addr, "/")
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
+	rt := newRetrier(retries)
 	if platformSpec != nil {
-		if err := registerPlatform(addr, platformSpec); err != nil {
+		if err := registerPlatform(addr, platformSpec, rt); err != nil {
 			fmt.Fprintf(os.Stderr, "charhpc: registering %s on %s: %v\n", req.Platform, addr, err)
 			return 1
 		}
 	}
 	failed := 0
 	for _, id := range ids {
-		if err := submitOne(addr, id, req, follow); err != nil {
+		if err := submitOne(addr, id, req, follow, rt); err != nil {
 			fmt.Fprintf(os.Stderr, "charhpc: %s: %v\n", id, err)
 			failed++
 		}
@@ -78,8 +79,10 @@ func runSubmit(addr string, ids []string, req core.Request, follow bool, platfor
 // registerPlatform POSTs one canonical platform spec to the daemon.
 // 201 (first sighting) and 200 (already registered) both succeed —
 // registration is idempotent by content hash.
-func registerPlatform(addr string, spec []byte) error {
-	resp, err := http.Post(addr+"/platforms", "application/json", strings.NewReader(string(spec)))
+func registerPlatform(addr string, spec []byte, rt *retrier) error {
+	resp, err := rt.do(func() (*http.Response, error) {
+		return http.Post(addr+"/platforms", "application/json", strings.NewReader(string(spec)))
+	})
 	if err != nil {
 		return err
 	}
@@ -92,12 +95,14 @@ func registerPlatform(addr string, spec []byte) error {
 }
 
 // submitOne submits a single experiment and optionally follows it.
-func submitOne(addr, id string, req core.Request, follow bool) error {
+func submitOne(addr, id string, req core.Request, follow bool, rt *retrier) error {
 	q := url.Values{"id": {id}, "scale": {req.Scale.String()}}
 	if req.Platform != "" {
 		q.Set("platform", req.Platform)
 	}
-	resp, err := http.Post(addr+"/runs?"+q.Encode(), "", nil)
+	resp, err := rt.do(func() (*http.Response, error) {
+		return http.Post(addr+"/runs?"+q.Encode(), "", nil)
+	})
 	if err != nil {
 		return err
 	}
@@ -114,14 +119,16 @@ func submitOne(addr, id string, req core.Request, follow bool) error {
 		fmt.Printf("%s submitted: job %s  (%s%s)\n", id, sub.Job, addr, sub.EventsURL)
 		return nil
 	}
-	return followJob(addr, id, sub)
+	return followJob(addr, id, sub, rt)
 }
 
 // followJob streams one job's SSE feed, rendering phase/section
 // progress as a single live-updating line, then prints the result
 // body the terminal event points at.
-func followJob(addr, id string, sub submitResponse) error {
-	resp, err := http.Get(addr + sub.EventsURL)
+func followJob(addr, id string, sub submitResponse, rt *retrier) error {
+	resp, err := rt.do(func() (*http.Response, error) {
+		return http.Get(addr + sub.EventsURL)
+	})
 	if err != nil {
 		return err
 	}
@@ -175,7 +182,9 @@ func followJob(addr, id string, sub submitResponse) error {
 	}
 
 	// Hand-off: the terminal event names the cached result.
-	res, err := http.Get(addr + last.Data["url"])
+	res, err := rt.do(func() (*http.Response, error) {
+		return http.Get(addr + last.Data["url"])
+	})
 	if err != nil {
 		return err
 	}

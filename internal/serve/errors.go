@@ -35,6 +35,38 @@ const (
 	codeInternal             = "internal"
 )
 
+// Exported aliases for the envelope codes a fronting router (see
+// internal/shard) branches on or re-emits. The unexported names stay
+// the package-internal vocabulary; these are the compatibility
+// surface a sibling package may depend on.
+const (
+	CodeUnknownExperiment = codeUnknownExperiment
+	CodeUnknownPlatform   = codeUnknownPlatform
+)
+
+// APIError is one request-validation failure in the service's error
+// vocabulary: the HTTP status, the stable machine-readable code, the
+// human message, and an optional hint. It is the exported face of the
+// envelope so a fronting router can validate requests locally and
+// still produce byte-identical error responses (see CheckRunRequest
+// and WriteAPIError).
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+	Hint    string
+}
+
+// Error implements the error interface with the human message.
+func (e *APIError) Error() string { return e.Message }
+
+// WriteAPIError renders e exactly as serve's own handlers render the
+// same failure — negotiated envelope, same codes, same bytes — so
+// clients cannot tell a router-side rejection from a shard-side one.
+func WriteAPIError(w http.ResponseWriter, r *http.Request, e *APIError) {
+	writeError(w, r, e.Status, e.Code, e.Message, e.Hint)
+}
+
 // errorEnvelope is the JSON error body: the message, the stable code,
 // and an optional hint pointing at the endpoint that resolves the
 // failure.

@@ -204,6 +204,11 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", ctSSE)
 	w.Header().Set("Cache-Control", "no-cache")
+	// Tell buffering intermediaries (nginx and compatibles) to pass
+	// each event through as it is flushed — a buffered progress stream
+	// defeats its purpose. The shard router's proxy path honors the
+	// same contract by flushing per chunk.
+	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 	for {

@@ -373,3 +373,32 @@ func TestJobQueueVisibility(t *testing.T) {
 		t.Errorf("gauges:\n%s", grepMetrics(body, "charhpc_jobs_"))
 	}
 }
+
+// TestEventStreamAntiBufferingHeaders pins the SSE hardening
+// contract: the events response must carry Cache-Control: no-cache
+// and X-Accel-Buffering: no, so neither a shared cache nor a
+// buffering reverse proxy (nginx, or this repo's own shard router)
+// holds progress frames back from the client.
+func TestEventStreamAntiBufferingHeaders(t *testing.T) {
+	var runs atomic.Int32
+	ts := newTestServer(t, Config{RunFunc: stubRun(&runs, 0)})
+	sub := submitJob(t, ts.URL, "id=T1")
+
+	resp, err := http.Get(ts.URL + sub.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != ctSSE {
+		t.Errorf("Content-Type = %q, want %q", got, ctSSE)
+	}
+	if got := resp.Header.Get("Cache-Control"); got != "no-cache" {
+		t.Errorf("Cache-Control = %q, want no-cache", got)
+	}
+	if got := resp.Header.Get("X-Accel-Buffering"); got != "no" {
+		t.Errorf("X-Accel-Buffering = %q, want no", got)
+	}
+}

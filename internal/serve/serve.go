@@ -342,20 +342,24 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	w.Write(rp.body)
 }
 
-// parseRunRequest validates one run request the way every entry point
+// CheckRunRequest validates one run request the way every entry point
 // must: experiment existence (404), then scale syntax (400), then the
 // platform axis (400 — an invalid request is invalid whatever the
-// server's policy), and only then the server's scale limit (403). The
+// server's policy), and only then the given scale limit (403). The
 // blocking GET and the async POST /runs both go through here, and the
 // table test in serve_test.go pins the precedence, so the same bad
 // request can never draw different codes from different entry points.
-func (s *Server) parseRunRequest(w http.ResponseWriter, r *http.Request, id, scaleV, platformV string) (core.Experiment, core.Request, bool) {
+// It is exported for the shard router, which validates against the
+// same rules before any shard round trip and writes the returned
+// APIError through WriteAPIError — byte-identical to a shard's own
+// rejection of the same request.
+func CheckRunRequest(id, scaleV, platformV string, limit core.Scale) (core.Experiment, core.Request, *APIError) {
 	e, ok := core.Get(id)
 	if !ok {
-		writeError(w, r, http.StatusNotFound, codeUnknownExperiment,
-			fmt.Sprintf("unknown experiment %q", id),
-			"GET /experiments lists every registered experiment")
-		return e, core.Request{}, false
+		return e, core.Request{}, &APIError{
+			Status: http.StatusNotFound, Code: codeUnknownExperiment,
+			Message: fmt.Sprintf("unknown experiment %q", id),
+			Hint:    "GET /experiments lists every registered experiment"}
 	}
 	req := core.Request{Scale: core.Quick}
 	switch scaleV {
@@ -363,20 +367,30 @@ func (s *Server) parseRunRequest(w http.ResponseWriter, r *http.Request, id, sca
 	case "full":
 		req.Scale = core.Full
 	default:
-		writeError(w, r, http.StatusBadRequest, codeInvalidScale,
-			fmt.Sprintf("unknown scale %q (want quick or full)", scaleV), "")
-		return e, req, false
+		return e, req, &APIError{
+			Status: http.StatusBadRequest, Code: codeInvalidScale,
+			Message: fmt.Sprintf("unknown scale %q (want quick or full)", scaleV)}
 	}
 	req.Platform = platformV
 	if err := e.CheckPlatform(req.Platform); err != nil {
 		status, code, hint := platformError(err)
-		writeError(w, r, status, code, err.Error(), hint)
-		return e, req, false
+		return e, req, &APIError{Status: status, Code: code, Message: err.Error(), Hint: hint}
 	}
-	if req.Scale > s.cfg.ScaleLimit {
-		writeError(w, r, http.StatusForbidden, codeScaleLimit,
-			fmt.Sprintf("scale %s disabled on this server (limit %s)", req.Scale, s.cfg.ScaleLimit),
-			"this server was started without full-scale runs enabled")
+	if req.Scale > limit {
+		return e, req, &APIError{
+			Status: http.StatusForbidden, Code: codeScaleLimit,
+			Message: fmt.Sprintf("scale %s disabled on this server (limit %s)", req.Scale, limit),
+			Hint:    "this server was started without full-scale runs enabled"}
+	}
+	return e, req, nil
+}
+
+// parseRunRequest is CheckRunRequest bound to this server's scale
+// limit, answering the error itself.
+func (s *Server) parseRunRequest(w http.ResponseWriter, r *http.Request, id, scaleV, platformV string) (core.Experiment, core.Request, bool) {
+	e, req, apiErr := CheckRunRequest(id, scaleV, platformV, s.cfg.ScaleLimit)
+	if apiErr != nil {
+		WriteAPIError(w, r, apiErr)
 		return e, req, false
 	}
 	return e, req, true

@@ -1,0 +1,149 @@
+// Per-shard health checking: a background loop probes every shard's
+// GET /healthz on a configurable interval with a per-probe timeout,
+// and the router additionally marks a shard down passively the moment
+// a proxied request fails at the transport — routing never waits for
+// the next probe tick to stop sending traffic at a dead worker. A
+// down shard keeps being probed and comes back the first time a probe
+// succeeds.
+package shard
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health-check defaults when Config leaves the knobs zero.
+const (
+	DefaultHealthInterval = 2 * time.Second
+	DefaultHealthTimeout  = 1 * time.Second
+)
+
+// health tracks each shard's liveness.
+type health struct {
+	client   *http.Client
+	interval time.Duration
+	timeout  time.Duration
+	onChange func(shard string, up bool) // called outside the lock
+
+	mu sync.Mutex
+	up map[string]bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newHealth(shards []string, client *http.Client, interval, timeout time.Duration, onChange func(string, bool)) *health {
+	h := &health{
+		client:   client,
+		interval: interval,
+		timeout:  timeout,
+		onChange: onChange,
+		up:       make(map[string]bool, len(shards)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	// Optimistic until the first probe lands: a router that starts a
+	// beat before its shards should try them, not 503 its first
+	// requests. A dead shard is discovered by the first probe or the
+	// first proxied request, whichever comes first.
+	for _, s := range shards {
+		h.up[s] = true
+	}
+	return h
+}
+
+// start launches the probe loop (one immediate pass, then one per
+// interval).
+func (h *health) start() {
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		h.probeAll()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				h.probeAll()
+			}
+		}
+	}()
+}
+
+// close stops the probe loop and waits for it to exit.
+func (h *health) close() {
+	close(h.stop)
+	<-h.done
+}
+
+// probeAll probes every shard concurrently and records the outcomes.
+func (h *health) probeAll() {
+	h.mu.Lock()
+	shards := make([]string, 0, len(h.up))
+	for s := range h.up {
+		shards = append(shards, s)
+	}
+	h.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, s := range shards {
+		wg.Add(1)
+		go func(shard string) {
+			defer wg.Done()
+			h.set(shard, h.probe(shard))
+		}(s)
+	}
+	wg.Wait()
+}
+
+// probe reports whether one shard answers /healthz with 200 within
+// the timeout.
+func (h *health) probe(shard string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), h.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, shard+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// set records a shard's state, firing onChange on transitions.
+func (h *health) set(shard string, up bool) {
+	h.mu.Lock()
+	changed := h.up[shard] != up
+	h.up[shard] = up
+	h.mu.Unlock()
+	if changed && h.onChange != nil {
+		h.onChange(shard, up)
+	}
+}
+
+// isUp reports a shard's last known state.
+func (h *health) isUp(shard string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.up[shard]
+}
+
+// upCount reports how many shards are up.
+func (h *health) upCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, up := range h.up {
+		if up {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,639 @@
+// Router tests: byte-identity of routed vs direct responses, routing
+// stickiness, health-checked failover, request-ID propagation, job
+// and platform fan-out, the fan-out warm-up's ring partition, and the
+// SSE proxy contract.
+package shard
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/serve"
+)
+
+// testPool is a set of in-process shards behind a Router.
+type testPool struct {
+	router *Router
+	proxy  *httptest.Server // the router, listening
+	shards []*httptest.Server
+	urls   []string
+	runs   []*runLog // per-shard record of executed (id, platform)
+}
+
+// runLog records which keys one shard actually executed.
+type runLog struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+func (l *runLog) add(k string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.keys = append(l.keys, k)
+}
+
+func (l *runLog) list() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.keys...)
+}
+
+// stubRun produces a deterministic result for any (experiment,
+// request) — same bytes on every shard, so re-running a key on a
+// failover target yields the owner's exact response.
+func stubRun(log *runLog) func(core.Experiment, core.Request) core.Result {
+	return func(e core.Experiment, r core.Request) core.Result {
+		if log != nil {
+			log.add(Key(e.ID, r.Scale.String(), r.Platform))
+		}
+		rec := report.NewRecorder()
+		tbl := report.NewTable("stub "+e.ID, "key", "value")
+		tbl.AddRow("id", e.ID)
+		tbl.AddRow("platform", r.Platform)
+		tbl.Fprint(rec)
+		return core.Result{Experiment: e, Req: r, Rec: rec, Elapsed: time.Millisecond}
+	}
+}
+
+// newTestPool starts n stub shards and a router over them. mw, when
+// non-nil, wraps each shard's handler (for observing proxied
+// requests).
+func newTestPool(t *testing.T, n int, cfg Config, mw func(i int, next http.Handler) http.Handler) *testPool {
+	t.Helper()
+	p := &testPool{}
+	for i := 0; i < n; i++ {
+		log := &runLog{}
+		h := http.Handler(serve.New(serve.Config{RunFunc: stubRun(log)}))
+		if mw != nil {
+			h = mw(i, h)
+		}
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+		p.shards = append(p.shards, ts)
+		p.urls = append(p.urls, ts.URL)
+		p.runs = append(p.runs, log)
+	}
+	cfg.Shards = p.urls
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = 50 * time.Millisecond
+	}
+	if cfg.HealthTimeout == 0 {
+		cfg.HealthTimeout = 250 * time.Millisecond
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	p.router = rt
+	p.proxy = httptest.NewServer(rt)
+	t.Cleanup(p.proxy.Close)
+	return p
+}
+
+// mirror builds an independent ring over the pool's shard URLs — ring
+// hashing is stable, so it must agree with the router's own routing.
+func (p *testPool) mirror(vnodes int) *Ring {
+	r := NewRing(vnodes)
+	for _, u := range p.urls {
+		r.Add(u)
+	}
+	return r
+}
+
+func get(t *testing.T, url string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestRoutedByteIdentity pins the transparency contract: for blocking
+// GETs in every negotiated shape — and for the error envelopes — the
+// routed response is byte-identical to the owning shard's direct
+// one: status, Content-Type, ETag, body.
+func TestRoutedByteIdentity(t *testing.T) {
+	p := newTestPool(t, 2, Config{}, nil)
+	paths := []string{
+		"/experiments/T1?scale=quick",
+		"/experiments/M3",
+		"/experiments",
+		"/platforms",
+		"/experiments/nope",                            // 404 unknown_experiment
+		"/experiments/T1?scale=mega",                   // 400 invalid_scale
+		"/experiments/T1?scale=full",                   // 403 scale_limit
+		"/experiments/T1?platform=nope",                // 400 unknown_platform
+		"/experiments/T1?platform=custom-000000000000", // unknown custom → deferred to shard, same 400
+	}
+	accepts := []string{"", "application/json", "text/csv"}
+	for _, path := range paths {
+		for _, accept := range accepts {
+			hdr := map[string]string{}
+			if accept != "" {
+				hdr["Accept"] = accept
+			}
+			routed, routedBody := get(t, p.proxy.URL+path, hdr)
+			// The stub shards are deterministic, so shard 0's direct
+			// answer is canonical whichever shard owns the key.
+			direct, directBody := get(t, p.urls[0]+path, hdr)
+			if routed.StatusCode != direct.StatusCode {
+				t.Errorf("%s [%s]: routed %d, direct %d", path, accept, routed.StatusCode, direct.StatusCode)
+				continue
+			}
+			if string(routedBody) != string(directBody) {
+				t.Errorf("%s [%s]: routed body differs from direct:\nrouted: %q\ndirect: %q",
+					path, accept, routedBody, directBody)
+			}
+			for _, h := range []string{"Content-Type", "ETag"} {
+				if routed.Header.Get(h) != direct.Header.Get(h) {
+					t.Errorf("%s [%s]: %s routed %q, direct %q",
+						path, accept, h, routed.Header.Get(h), direct.Header.Get(h))
+				}
+			}
+		}
+	}
+}
+
+// TestRoutingIsSticky pins cache locality: every request for one key
+// executes on exactly one shard — the ring owner — and a repeat GET
+// is served from that shard's cache without a second run.
+func TestRoutingIsSticky(t *testing.T) {
+	p := newTestPool(t, 4, Config{}, nil)
+	ring := p.mirror(0)
+	ids := []string{"T1", "T2", "T3", "M3", "M4"}
+	for _, id := range ids {
+		for i := 0; i < 3; i++ {
+			resp, body := get(t, p.proxy.URL+"/experiments/"+id, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: %d %s", id, resp.StatusCode, body)
+			}
+		}
+	}
+	for _, id := range ids {
+		key := Key(id, "quick", "")
+		owner, _ := ring.Owner(key)
+		for i, u := range p.urls {
+			ran := 0
+			for _, k := range p.runs[i].list() {
+				if k == key {
+					ran++
+				}
+			}
+			switch {
+			case u == owner && ran != 1:
+				t.Errorf("%s: owner %s ran it %d times, want exactly 1 (cache miss then hits)", id, u, ran)
+			case u != owner && ran != 0:
+				t.Errorf("%s: non-owner %s ran it %d times, want 0", id, u, ran)
+			}
+		}
+	}
+}
+
+// TestFailover pins the failover path: kill a key's owning shard, and
+// the routed request is re-served — same bytes — by the ring
+// successor, the failover counter moves, and the aggregated healthz
+// reports the dead shard.
+func TestFailover(t *testing.T) {
+	p := newTestPool(t, 2, Config{}, nil)
+	ring := p.mirror(0)
+	key := Key("T1", "quick", "")
+	owner, _ := ring.Owner(key)
+
+	resp, before := get(t, p.proxy.URL+"/experiments/T1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-failover GET: %d", resp.StatusCode)
+	}
+	for i, u := range p.urls {
+		if u == owner {
+			p.shards[i].Close()
+		}
+	}
+	resp, after := get(t, p.proxy.URL+"/experiments/T1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-failover GET: %d %s", resp.StatusCode, after)
+	}
+	if string(after) != string(before) {
+		t.Errorf("failover changed the response bytes:\nbefore: %q\nafter:  %q", before, after)
+	}
+	st := p.router.Stats()
+	if st.Failovers < 1 {
+		t.Errorf("failovers = %d, want >= 1", st.Failovers)
+	}
+	if st.ShardsUp != 1 || st.ShardsTotal != 2 {
+		t.Errorf("shards up/total = %d/%d, want 1/2", st.ShardsUp, st.ShardsTotal)
+	}
+	hresp, hbody := get(t, p.proxy.URL+"/healthz", nil)
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", hresp.StatusCode)
+	}
+	for _, want := range []string{"ok ", "shards_up=1", "shards_total=2"} {
+		if !strings.Contains(string(hbody), want) {
+			t.Errorf("healthz %q missing %q", hbody, want)
+		}
+	}
+	mresp, mbody := get(t, p.proxy.URL+"/metrics", nil)
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", mresp.StatusCode)
+	}
+	if !strings.Contains(string(mbody), "charhpc_router_failovers_total") {
+		t.Error("metrics exposition missing charhpc_router_failovers_total")
+	}
+}
+
+// TestAllShardsDown pins the end of the failover chain: every
+// candidate failing yields the router's 502 upstream_failed envelope
+// in the service's error shape.
+func TestAllShardsDown(t *testing.T) {
+	p := newTestPool(t, 2, Config{HealthInterval: time.Hour}, nil)
+	for _, s := range p.shards {
+		s.Close()
+	}
+	resp, body := get(t, p.proxy.URL+"/experiments/T1", map[string]string{"Accept": "application/json"})
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502; body %s", resp.StatusCode, body)
+	}
+	var env struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+		Hint  string `json:"hint"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("502 body is not the JSON envelope: %v (%s)", err, body)
+	}
+	if env.Code != "upstream_failed" || env.Error == "" || env.Hint == "" {
+		t.Errorf("envelope = %+v, want code upstream_failed with message and hint", env)
+	}
+}
+
+// TestRequestIDPropagation pins the cross-hop contract: an inbound
+// X-Request-ID is reused on the shard hop — never re-minted — so the
+// same ID appears at the client, the router, and the shard; absent
+// one, the router mints exactly one.
+func TestRequestIDPropagation(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int][]string{}
+	p := newTestPool(t, 2, Config{}, func(i int, next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			seen[i] = append(seen[i], r.Header.Get("X-Request-ID"))
+			mu.Unlock()
+			next.ServeHTTP(w, r)
+		})
+	})
+
+	resp, _ := get(t, p.proxy.URL+"/experiments/T1", map[string]string{"X-Request-ID": "req-pinned-1"})
+	if got := resp.Header.Values("X-Request-Id"); len(got) != 1 || got[0] != "req-pinned-1" {
+		t.Errorf("response X-Request-ID = %v, want exactly [req-pinned-1]", got)
+	}
+	mu.Lock()
+	var shardSaw []string
+	for _, ids := range seen {
+		for _, id := range ids {
+			if id != "" && !strings.HasPrefix(id, "probe") {
+				shardSaw = append(shardSaw, id)
+			}
+		}
+	}
+	mu.Unlock()
+	found := false
+	for _, id := range shardSaw {
+		if id == "req-pinned-1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no shard saw the inbound request ID; shards saw %v", shardSaw)
+	}
+
+	// No inbound ID: the router mints one and the shard sees that same
+	// minted value.
+	mu.Lock()
+	seen = map[int][]string{}
+	mu.Unlock()
+	resp, _ = get(t, p.proxy.URL+"/experiments/T2", nil)
+	minted := resp.Header.Get("X-Request-Id")
+	if minted == "" {
+		t.Fatal("router did not mint a request ID")
+	}
+	mu.Lock()
+	found = false
+	for _, ids := range seen {
+		for _, id := range ids {
+			if id == minted {
+				found = true
+			}
+		}
+	}
+	mu.Unlock()
+	if !found {
+		t.Errorf("shard did not receive the minted ID %q", minted)
+	}
+}
+
+// TestJobsThroughRouter drives the async API end to end through the
+// router: submit, status, SSE events to the terminal frame, result
+// hand-off — and the SSE proxy must preserve the anti-buffering
+// headers the shard sets.
+func TestJobsThroughRouter(t *testing.T) {
+	p := newTestPool(t, 2, Config{}, nil)
+
+	resp, err := http.Post(p.proxy.URL+"/runs?id=T1&scale=quick", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var sub struct {
+		Job       string `json:"job"`
+		StatusURL string `json:"status_url"`
+		EventsURL string `json:"events_url"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil || sub.Job == "" {
+		t.Fatalf("bad 202 body %s: %v", body, err)
+	}
+
+	evResp, err := http.Get(p.proxy.URL + sub.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+	if evResp.StatusCode != http.StatusOK {
+		t.Fatalf("events: %d", evResp.StatusCode)
+	}
+	if ct := evResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Errorf("events Content-Type = %q", ct)
+	}
+	if got := evResp.Header.Get("X-Accel-Buffering"); got != "no" {
+		t.Errorf("routed SSE X-Accel-Buffering = %q, want no", got)
+	}
+	if got := evResp.Header.Get("Cache-Control"); got != "no-cache" {
+		t.Errorf("routed SSE Cache-Control = %q, want no-cache", got)
+	}
+	var terminal map[string]string
+	sc := bufio.NewScanner(evResp.Body)
+	deadline := time.After(10 * time.Second)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for sc.Scan() {
+			data, ok := strings.CutPrefix(sc.Text(), "data: ")
+			if !ok {
+				continue
+			}
+			var ev struct {
+				Type string            `json:"type"`
+				Data map[string]string `json:"data"`
+			}
+			if json.Unmarshal([]byte(data), &ev) != nil {
+				continue
+			}
+			if ev.Type == "done" || ev.Type == "failed" || ev.Type == "canceled" {
+				terminal = ev.Data
+				terminal["_type"] = ev.Type
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-deadline:
+		t.Fatal("no terminal SSE event within 10s")
+	}
+	if terminal["_type"] != "done" {
+		t.Fatalf("job ended %q: %v", terminal["_type"], terminal)
+	}
+
+	// Status via the router follows the job to its shard.
+	sresp, sbody := get(t, p.proxy.URL+sub.StatusURL, nil)
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d %s", sresp.StatusCode, sbody)
+	}
+	// The terminal event's hand-off URL serves the cached result with
+	// the ETag the event promised.
+	rresp, _ := get(t, p.proxy.URL+terminal["url"], nil)
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("hand-off: %d", rresp.StatusCode)
+	}
+	if got := rresp.Header.Get("ETag"); got != terminal["etag"] {
+		t.Errorf("hand-off ETag %q, event promised %q", got, terminal["etag"])
+	}
+	// The merged job listing includes the job.
+	lresp, lbody := get(t, p.proxy.URL+"/runs", nil)
+	if lresp.StatusCode != http.StatusOK || !strings.Contains(string(lbody), sub.Job) {
+		t.Errorf("merged GET /runs (%d) missing job %s: %s", lresp.StatusCode, sub.Job, lbody)
+	}
+
+	// A second router with a cold routing table still finds the job by
+	// probing the pool (a restarted router keeps serving old jobs).
+	rt2, err := New(Config{Shards: p.urls, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	proxy2 := httptest.NewServer(rt2)
+	defer proxy2.Close()
+	s2resp, s2body := get(t, proxy2.URL+sub.StatusURL, nil)
+	if s2resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold-table status lookup: %d %s", s2resp.StatusCode, s2body)
+	}
+
+	// Unknown jobs keep the shard's own 404 envelope.
+	uresp, ubody := get(t, p.proxy.URL+"/runs/nope", map[string]string{"Accept": "application/json"})
+	dresp, dbody := get(t, p.urls[0]+"/runs/nope", map[string]string{"Accept": "application/json"})
+	if uresp.StatusCode != http.StatusNotFound || uresp.StatusCode != dresp.StatusCode {
+		t.Errorf("unknown job: routed %d, direct %d", uresp.StatusCode, dresp.StatusCode)
+	}
+	if string(ubody) != string(dbody) {
+		t.Errorf("unknown-job envelope differs: routed %q, direct %q", ubody, dbody)
+	}
+}
+
+// TestPlatformFanout pins custom-platform registration through the
+// router: the client gets the shard's own 201/200 bytes, and the spec
+// reaches every shard (counted at each shard's front door) so any
+// shard can serve the custom immediately.
+func TestPlatformFanout(t *testing.T) {
+	var mu sync.Mutex
+	posts := map[int]int{}
+	p := newTestPool(t, 3, Config{}, func(i int, next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && r.URL.Path == "/platforms" {
+				mu.Lock()
+				posts[i]++
+				mu.Unlock()
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+
+	resp, err := http.Post(p.proxy.URL+"/platforms", "application/json", strings.NewReader(fanoutSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	var reg struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(body, &reg); err != nil || !strings.HasPrefix(reg.Name, "custom-") {
+		t.Fatalf("bad register body %s: %v", body, err)
+	}
+	mu.Lock()
+	for i := range p.urls {
+		if posts[i] == 0 {
+			t.Errorf("shard %d never received the platform registration", i)
+		}
+	}
+	mu.Unlock()
+
+	// The custom now routes and runs like a preset, through the router.
+	gresp, gbody := get(t, p.proxy.URL+"/experiments/T1?platform="+url.QueryEscape(reg.Name), nil)
+	if gresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET with registered custom: %d %s", gresp.StatusCode, gbody)
+	}
+}
+
+// fanoutSpec is a minimal-but-complete custom machine (same shape the
+// serve tests use), unique to this test via its label.
+const fanoutSpec = `{
+  "label": "shard-test quad",
+  "topology": {"nodes": 4, "sockets_per_node": 2, "cores_per_socket": 4},
+  "links": {
+    "self":         {"latency_s": 1e-7, "overhead_s": 1e-7, "gap_s": 1e-8, "bandwidth_bytes_per_s": 12e9},
+    "intra_socket": {"latency_s": 3e-7, "overhead_s": 2e-7, "gap_s": 2e-8, "bandwidth_bytes_per_s": 6e9},
+    "intra_node":   {"latency_s": 6e-7, "overhead_s": 2e-7, "gap_s": 3e-8, "bandwidth_bytes_per_s": 4e9},
+    "inter_node":   {"latency_s": 2e-5, "overhead_s": 1e-6, "gap_s": 1e-6, "bandwidth_bytes_per_s": 1.2e8}
+  },
+  "mem_bw_per_socket_bytes_per_s": 6.4e9,
+  "mem_bw_per_core_bytes_per_s": 2.5e9,
+  "flops_per_core": 9.6e9,
+  "mem": {
+    "name": "shard-test-mem",
+    "levels": [
+      {"name": "L1", "capacity_bytes": 32768, "latency_s": 1.2e-9},
+      {"name": "L2", "capacity_bytes": 262144, "latency_s": 4.5e-9},
+      {"name": "L3", "capacity_bytes": 8388608, "latency_s": 1.4e-8}
+    ],
+    "mem_latency_s": 7.5e-8,
+    "tlb": {"entries": 512, "miss_cost_s": 2.2e-8},
+    "page_bytes": 4096,
+    "large_page_bytes": 2097152,
+    "page_fault_cost_s": 1.5e-6,
+    "numa": {"nodes": 2, "remote_latency_s": 1.25e-7, "remote_tlb_cost_s": 3e-8}
+  }
+}`
+
+// TestWarmPartition pins the fan-out warm-up's central claim: the
+// registry × default-platform plan is partitioned by ring ownership —
+// every compatible key runs exactly once, on exactly the shard the
+// ring routes it to.
+func TestWarmPartition(t *testing.T) {
+	p := newTestPool(t, 4, Config{HealthInterval: time.Hour}, nil)
+	ring := p.mirror(0)
+
+	n := p.router.Warm(nil, nil, nil, 4)
+	want := len(core.All())
+	if n != want {
+		t.Errorf("warmed %d keys, want every registered experiment (%d)", n, want)
+	}
+	ranTotal := 0
+	for i, u := range p.urls {
+		for _, k := range p.runs[i].list() {
+			ranTotal++
+			if owner, _ := ring.Owner(k); owner != u {
+				t.Errorf("warm-up ran %q on %s, ring owner is %s", k, u, owner)
+			}
+		}
+	}
+	if ranTotal != want {
+		t.Errorf("pool executed %d runs, want %d (each key exactly once)", ranTotal, want)
+	}
+
+	// Post-warm-up, a routed GET is a cache hit: no shard runs again.
+	for _, e := range core.All() {
+		resp, _ := get(t, p.proxy.URL+"/experiments/"+e.ID, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-warm GET %s: %d", e.ID, resp.StatusCode)
+		}
+	}
+	after := 0
+	for i := range p.urls {
+		after += len(p.runs[i].list())
+	}
+	if after != ranTotal {
+		t.Errorf("routed GETs after warm-up re-ran %d keys; warm partition and routing disagree", after-ranTotal)
+	}
+}
+
+// TestRouterConfigValidation pins constructor errors and URL
+// normalization.
+func TestRouterConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New with no shards succeeded")
+	}
+	if _, err := New(Config{Shards: []string{"   ", ""}}); err == nil {
+		t.Error("New with blank shards succeeded")
+	}
+	if _, err := New(Config{Shards: []string{"http://%zz"}}); err == nil {
+		t.Error("New with an unparseable URL succeeded")
+	}
+	rt, err := New(Config{Shards: []string{"host1:8080/", "http://host1:8080", "host2:8080"}, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if got := rt.Stats().ShardsTotal; got != 2 {
+		t.Errorf("normalized pool size %d, want 2 (scheme added, slash trimmed, dup removed)", got)
+	}
+}
+
+// TestJobTableEviction pins the bounded routing memory: entries past
+// the cap evict oldest-first and re-resolve via the pool probe.
+func TestJobTableEviction(t *testing.T) {
+	tb := newJobTable(2)
+	tb.put("a", "s1")
+	tb.put("b", "s2")
+	tb.put("a", "s3") // update, not a new entry
+	if s, _ := tb.get("a"); s != "s3" {
+		t.Errorf("a -> %s, want s3", s)
+	}
+	tb.put("c", "s4") // evicts a (oldest)
+	if _, ok := tb.get("a"); ok {
+		t.Error("oldest entry survived past the cap")
+	}
+	for job, want := range map[string]string{"b": "s2", "c": "s4"} {
+		if s, ok := tb.get(job); !ok || s != want {
+			t.Errorf("%s -> %s,%v want %s", job, s, ok, want)
+		}
+	}
+}

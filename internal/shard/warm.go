@@ -1,0 +1,127 @@
+// Fan-out warm-up: the same registry × platform plan charhpcd's -warm
+// builds for one daemon, partitioned across the pool by ring
+// ownership — each shard is asked to fill exactly the keys the ring
+// routes to it, so a completed warm-up leaves every shard's cache hot
+// for precisely its own traffic. Run the shards with -warm=false and
+// let the router drive the partitioned warm-up instead; double
+// warming is harmless (the shard's single-flight coalesces) but
+// wastes the pool's startup time.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Warm fills the pool's quick-scale caches for the given experiment
+// IDs (nil means every registered experiment) across the given
+// platform axis (nil means the default platform set only; "" in the
+// list is the default set). Incompatible (experiment, platform) pairs
+// are skipped, mirroring serve.(*Server).Warm. Each key is requested
+// from its ring owner — with the usual failover order if the owner is
+// down — by a pool of workers issuing the ordinary blocking GET, so a
+// warmed key lands in exactly the cache that will serve it. Returns
+// the number of keys warmed successfully.
+func (rt *Router) Warm(ctx context.Context, ids []string, platforms []string, workers int) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ids == nil {
+		for _, e := range core.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	if platforms == nil {
+		platforms = []string{""}
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+
+	type task struct{ id, platform string }
+	var plan []task
+	for _, platform := range platforms {
+		for _, id := range ids {
+			e, ok := core.Get(id)
+			if !ok || e.CheckPlatform(platform) != nil {
+				continue
+			}
+			plan = append(plan, task{id, platform})
+		}
+	}
+	rt.warmRunning.Set(1)
+	defer rt.warmRunning.Set(0)
+	rt.warmPlanned.Set(int64(len(plan)))
+	rt.warmCompleted.Set(0)
+
+	tasks := make(chan task)
+	var wg sync.WaitGroup
+	var warmed int64
+	var mu sync.Mutex
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				ok := rt.warmOne(ctx, t.id, t.platform)
+				mu.Lock()
+				if ok {
+					warmed++
+				}
+				mu.Unlock()
+				rt.warmCompleted.Add(1)
+			}
+		}()
+	}
+loop:
+	for _, t := range plan {
+		select {
+		case tasks <- t:
+		case <-ctx.Done():
+			break loop
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	return int(warmed)
+}
+
+// warmOne fills one key on its owning shard by issuing the blocking
+// GET through the usual candidate order (owner first, ring successors
+// on failure). The response body is drained and discarded — the point
+// is the side effect on the shard's cache.
+func (rt *Router) warmOne(ctx context.Context, id, platform string) bool {
+	target := fmt.Sprintf("/experiments/%s?scale=quick", url.PathEscape(id))
+	if platform != "" {
+		target += "&platform=" + url.QueryEscape(platform)
+	}
+	key := Key(id, core.Quick.String(), platform)
+	for _, s := range rt.candidates(key) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, s+target, nil)
+		if err != nil {
+			return false
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return false
+			}
+			rt.hc.set(s, false)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return true
+		}
+		rt.log.Error("warm-up request rejected", "shard", s, "id", id, "platform", platform, "status", resp.Status)
+		return false
+	}
+	return false
+}
